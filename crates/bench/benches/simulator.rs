@@ -1,0 +1,68 @@
+//! Criterion benchmarks: wall-clock performance of the simulator itself.
+//!
+//! These measure the *simulator* (events/second), complementing the
+//! figure-regeneration binaries which measure the *simulated system*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftdircmp_core::{System, SystemConfig};
+use ftdircmp_noc::{Mesh, MeshConfig, RouterId, VcClass};
+use ftdircmp_sim::{Cycle, DetRng};
+use ftdircmp_workloads::WorkloadSpec;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system");
+    g.sample_size(10);
+    for name in ["water-sp", "ocean"] {
+        let spec = WorkloadSpec::named(name).unwrap();
+        let wl = spec.generate(16, 1);
+        g.bench_with_input(BenchmarkId::new("dircmp", name), &wl, |b, wl| {
+            b.iter(|| System::run_workload(SystemConfig::dircmp(), wl).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("ftdircmp", name), &wl, |b, wl| {
+            b.iter(|| System::run_workload(SystemConfig::ftdircmp(), wl).unwrap())
+        });
+        let faulty = SystemConfig::ftdircmp().with_fault_rate(2000.0);
+        g.bench_with_input(BenchmarkId::new("ftdircmp_faulty", name), &wl, |b, wl| {
+            let cfg = faulty.clone();
+            b.iter(|| System::run_workload(cfg.clone(), wl).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh_send_10k", |b| {
+        b.iter(|| {
+            let mut mesh = Mesh::new(MeshConfig::default(), DetRng::from_seed(1));
+            for i in 0..10_000u64 {
+                let src = RouterId::new((i % 16) as u16);
+                let dst = RouterId::new(((i * 7 + 3) % 16) as u16);
+                std::hint::black_box(mesh.send(
+                    Cycle::new(i),
+                    src,
+                    dst,
+                    if i % 3 == 0 { 72 } else { 8 },
+                    VcClass::Request,
+                ));
+            }
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("generate_suite", |b| {
+        b.iter(|| {
+            for spec in ftdircmp_workloads::suite() {
+                std::hint::black_box(spec.generate(16, 7));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_protocols,
+    bench_mesh,
+    bench_workload_generation
+);
+criterion_main!(benches);

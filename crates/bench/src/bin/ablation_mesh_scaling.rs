@@ -1,0 +1,53 @@
+//! Scalability ablation: how FtDirCMP's overhead behaves as the CMP grows
+//! (paper §1 motivates directory protocols by their scalability; this sweep
+//! confirms the fault-tolerance overhead does not grow with the mesh).
+//!
+//! ```text
+//! cargo run --release -p ftdircmp-bench --bin ablation_mesh_scaling [-- --seeds N]
+//! ```
+
+use ftdircmp_bench::{arg_u64, geomean_ratio, run_spec, DEFAULT_SEEDS};
+use ftdircmp_core::SystemConfig;
+use ftdircmp_stats::table::{signed_percent, times, Table};
+use ftdircmp_workloads::WorkloadSpec;
+
+const MESHES: [(u16, u16); 4] = [(2, 2), (4, 2), (4, 4), (8, 4)];
+
+fn main() {
+    let seeds = arg_u64("--seeds", DEFAULT_SEEDS);
+    let spec = WorkloadSpec::named("ocean").expect("in suite");
+    println!(
+        "Scalability ablation: FtDirCMP overhead vs. mesh size\n\
+         (benchmark {}, {seeds} seeds per cell).\n",
+        spec.name
+    );
+    let mut t = Table::with_columns(&[
+        "mesh",
+        "cores",
+        "exec. time overhead",
+        "message overhead",
+        "byte overhead",
+    ]);
+    for (w, hgt) in MESHES {
+        let base_cfg = SystemConfig::dircmp().with_mesh(w, hgt);
+        let ft_cfg = SystemConfig::ftdircmp().with_mesh(w, hgt);
+        let base = run_spec(&spec, &base_cfg, seeds);
+        let ft = run_spec(&spec, &ft_cfg, seeds);
+        let time = geomean_ratio(&ft, &base, |r| r.cycles as f64);
+        let msgs = geomean_ratio(&ft, &base, |r| r.stats.total_messages() as f64) - 1.0;
+        let bytes = geomean_ratio(&ft, &base, |r| r.stats.total_bytes() as f64) - 1.0;
+        t.row(vec![
+            format!("{w}x{hgt}"),
+            (u32::from(w) * u32::from(hgt)).to_string(),
+            times(time),
+            signed_percent(msgs),
+            signed_percent(bytes),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape to observe: the ownership-acknowledgment overhead is per-transfer,\n\
+         so it stays flat as the system scales — the scalability argument for\n\
+         attaching fault tolerance to a directory protocol (paper §1/§5)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Memory-level-parallelism ablation: non-blocking cores (several
+//! outstanding misses) overlap miss latency and multiply the concurrent
+//! transactions each L1 presents to the protocol. The paper's protocol
+//! claims correctness independent of the core model (§2); this sweep
+//! measures the performance side and confirms the FT overhead stays flat.
+//!
+//! ```text
+//! cargo run --release -p ftdircmp-bench --bin ablation_mlp [-- --seeds N]
+//! ```
+
+use ftdircmp_bench::{arg_u64, geomean_ratio, run_spec, DEFAULT_SEEDS};
+use ftdircmp_core::SystemConfig;
+use ftdircmp_stats::table::{times, Table};
+use ftdircmp_workloads::WorkloadSpec;
+
+const WINDOWS: [u8; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let seeds = arg_u64("--seeds", DEFAULT_SEEDS);
+    println!(
+        "MLP ablation ({seeds} seeds): execution time with a miss window of N\n\
+         relative to the blocking core (window 1), plus the FtDirCMP/DirCMP\n\
+         overhead at each window.\n"
+    );
+    let mut header: Vec<String> = vec!["benchmark".into()];
+    for w in WINDOWS {
+        header.push(format!("w={w}"));
+    }
+    header.push("ft ovh w=1".into());
+    header.push(format!("ft ovh w={}", WINDOWS[WINDOWS.len() - 1]));
+    let mut t = Table::new(header);
+
+    for name in ["fft", "radix", "barnes", "apache"] {
+        let spec = WorkloadSpec::named(name).expect("in suite");
+        let mut row = vec![name.to_string()];
+        let mut base1 = None;
+        let mut ft_ovh = Vec::new();
+        for w in WINDOWS {
+            let mut dir_cfg = SystemConfig::dircmp();
+            dir_cfg.max_outstanding_misses = w;
+            let mut ft_cfg = SystemConfig::ftdircmp();
+            ft_cfg.max_outstanding_misses = w;
+            let dir = run_spec(&spec, &dir_cfg, seeds);
+            let ft = run_spec(&spec, &ft_cfg, seeds);
+            if w == 1 {
+                base1 = Some(dir.iter().map(|r| r.cycles as f64).sum::<f64>());
+            }
+            let sum: f64 = dir.iter().map(|r| r.cycles as f64).sum();
+            row.push(times(sum / base1.as_ref().unwrap()));
+            if w == WINDOWS[0] || w == WINDOWS[WINDOWS.len() - 1] {
+                ft_ovh.push(times(geomean_ratio(&ft, &dir, |r| r.cycles as f64)));
+            }
+        }
+        row.extend(ft_ovh);
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape to observe: miss-bound benchmarks speed up with the window as\n\
+         misses overlap, while the FtDirCMP overhead stays ≈ 1.0x at every\n\
+         window — the handshakes remain off the critical path even with many\n\
+         concurrent transactions per L1."
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates the paper's §3.6 hardware-overhead estimation as concrete
+//! numbers for the Table 4 machine.
+//!
+//! ```text
+//! cargo run --release -p ftdircmp-bench --bin hw_overhead
+//! ```
+
+use ftdircmp_core::hardware::{estimate, relative_to_caches, HwAssumptions};
+use ftdircmp_core::SystemConfig;
+use ftdircmp_stats::table::Table;
+
+fn main() {
+    let cfg = SystemConfig::ftdircmp();
+    let assumptions = HwAssumptions::default();
+    let hw = estimate(&cfg, &assumptions);
+
+    println!("Hardware overhead estimation (paper §3.6), Table 4 machine.\n");
+    println!(
+        "Assumptions: {} L1 MSHRs, {} WB entries, {} L2 TBEs, {} memory TBEs,\n\
+         {} backup-buffer entries per L1, {}-bit CRC per message.\n",
+        assumptions.l1_mshrs,
+        assumptions.l1_wb_entries,
+        assumptions.l2_tbes,
+        assumptions.mem_tbes,
+        assumptions.backup_entries,
+        assumptions.crc_bits
+    );
+
+    let mut t = Table::with_columns(&["structure", "extra storage"]);
+    t.row(vec![
+        "per L1 cache (timers, serials, backup buffer)".into(),
+        format!("{} bits ({} bytes)", hw.per_l1_bits, hw.per_l1_bits / 8),
+    ]);
+    t.row(vec![
+        "per L2 bank (timers, serials, blocker ids)".into(),
+        format!("{} bits ({} bytes)", hw.per_l2_bits, hw.per_l2_bits / 8),
+    ]);
+    t.row(vec![
+        "per memory controller".into(),
+        format!("{} bits ({} bytes)", hw.per_mem_bits, hw.per_mem_bits / 8),
+    ]);
+    t.row(vec![
+        "per network message (serial + CRC)".into(),
+        format!("{} bits", hw.per_message_bits),
+    ]);
+    t.row(vec![
+        "extra virtual channels".into(),
+        hw.extra_virtual_channels.to_string(),
+    ]);
+    t.row(vec![
+        "chip total".into(),
+        format!(
+            "{} bits ({:.1} KB) = {:.3}% of cache capacity",
+            hw.chip_total_bits,
+            hw.chip_total_bits as f64 / 8.0 / 1024.0,
+            100.0 * relative_to_caches(&cfg, &hw)
+        ),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "Paper §3.6/§6: \"a very small hardware overhead\" plus two extra\n\
+         virtual channels — quantified here at well under 1% of cache capacity."
+    );
+}

@@ -1,0 +1,165 @@
+//! Shared harness for the figure-regeneration benchmarks.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (DESIGN.md §3, experiment index); this
+//! library holds the common machinery: running the benchmark suite across
+//! configurations and averaging across seeds.
+
+pub mod checkpoint;
+
+use ftdircmp_core::{RunError, SimReport, System, SystemConfig};
+use ftdircmp_workloads::{suite, WorkloadSpec};
+
+/// Number of seeds averaged per (benchmark, configuration) cell.
+pub const DEFAULT_SEEDS: u64 = 3;
+
+/// Runs `spec` under `config` for `seeds` seeds, returning all reports.
+///
+/// # Panics
+///
+/// Panics if any run fails or violates an invariant: a benchmark result
+/// from an incoherent run would be meaningless.
+pub fn run_spec(spec: &WorkloadSpec, config: &SystemConfig, seeds: u64) -> Vec<SimReport> {
+    (0..seeds)
+        .map(|seed| {
+            let wl = spec.generate(config.tiles, 1000 + seed);
+            let cfg = config.clone().with_seed(1000 + seed);
+            let r = System::run_workload(cfg, &wl)
+                .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", spec.name));
+            assert!(
+                r.violations.is_empty(),
+                "{} (seed {seed}): {:#?}",
+                spec.name,
+                r.violations
+            );
+            r
+        })
+        .collect()
+}
+
+/// Like [`run_spec`] but tolerates deadlocks (used to demonstrate DirCMP's
+/// failure mode); returns `Err` results untouched.
+pub fn run_spec_fallible(
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+    seeds: u64,
+) -> Vec<Result<SimReport, RunError>> {
+    (0..seeds)
+        .map(|seed| {
+            let wl = spec.generate(config.tiles, 1000 + seed);
+            let cfg = config.clone().with_seed(1000 + seed);
+            System::run_workload(cfg, &wl)
+        })
+        .collect()
+}
+
+/// Geometric mean of per-seed ratios `f(ft[i]) / f(base[i])`.
+pub fn geomean_ratio(ft: &[SimReport], base: &[SimReport], f: impl Fn(&SimReport) -> f64) -> f64 {
+    assert_eq!(ft.len(), base.len());
+    let log_sum: f64 = ft.iter().zip(base).map(|(a, b)| (f(a) / f(b)).ln()).sum();
+    (log_sum / ft.len() as f64).exp()
+}
+
+/// Arithmetic mean of `f` across reports.
+pub fn mean(reports: &[SimReport], f: impl Fn(&SimReport) -> f64) -> f64 {
+    reports.iter().map(&f).sum::<f64>() / reports.len() as f64
+}
+
+/// The benchmark suite, re-exported for the bin targets.
+pub fn benchmarks() -> Vec<WorkloadSpec> {
+    suite()
+}
+
+/// Writes rows as a CSV file (numeric cells unquoted, text cells quoted
+/// only when they contain separators).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(
+    path: impl AsRef<std::path::Path>,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    fn cell(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| cell(c)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Optional `--csv FILE` destination from argv.
+pub fn arg_csv() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses `--seeds N` style overrides from argv (very small helper).
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_produces_reports_per_seed() {
+        let spec = WorkloadSpec::named("water-sp").unwrap();
+        let reports = run_spec(&spec, &SystemConfig::ftdircmp(), 2);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        let spec = WorkloadSpec::named("water-sp").unwrap();
+        let a = run_spec(&spec, &SystemConfig::ftdircmp(), 2);
+        let g = geomean_ratio(&a, &a, |r| r.cycles as f64);
+        assert!((g - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arg_parser_defaults() {
+        assert_eq!(arg_u64("--definitely-not-passed", 7), 7);
+        assert_eq!(arg_csv(), None);
+    }
+
+    #[test]
+    fn csv_roundtrip_on_disk() {
+        let path = std::env::temp_dir().join("ftdircmp-bench-csv-test.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["1".into(), "plain".into()],
+                vec!["2".into(), "with,comma".into()],
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,plain\n2,\"with,comma\"\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,337 @@
+//! Generic set-associative cache array with LRU replacement.
+//!
+//! Used for both the L1 arrays and the L2 bank arrays. Entries that cannot
+//! be evicted (mid-transaction lines) are pinned by the caller's victim
+//! filter; when a fill finds every way pinned, the new line is parked in a
+//! small *overflow buffer* (a victim-buffer analogue) so the protocol never
+//! stalls on replacement. Overflow occupancy is reported in the statistics.
+
+use std::collections::HashMap;
+
+use crate::ids::LineAddr;
+
+/// Result of inserting a line into the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome<V> {
+    /// A victim evicted to make room, if any.
+    pub evicted: Option<(LineAddr, V)>,
+    /// The line landed in the overflow buffer because every way was pinned.
+    pub overflowed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Way<V> {
+    addr: LineAddr,
+    value: V,
+    stamp: u64,
+}
+
+/// A set-associative cache keyed by [`LineAddr`] with LRU replacement and an
+/// overflow buffer.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_core::cache::SetAssocCache;
+/// use ftdircmp_core::LineAddr;
+///
+/// let mut c: SetAssocCache<&str> = SetAssocCache::new(2, 2);
+/// c.insert(LineAddr(0), "a", |_, _| true);
+/// assert_eq!(c.get(LineAddr(0)), Some(&"a"));
+/// assert_eq!(c.get(LineAddr(2)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    sets: Vec<Vec<Way<V>>>,
+    assoc: usize,
+    clock: u64,
+    overflow: HashMap<LineAddr, V>,
+    overflow_peak: usize,
+    evictions: u64,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates a cache with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `assoc` is zero.
+    pub fn new(sets: u64, assoc: u32) -> Self {
+        assert!(sets > 0 && assoc > 0, "cache dimensions must be positive");
+        SetAssocCache {
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(assoc as usize))
+                .collect(),
+            assoc: assoc as usize,
+            clock: 0,
+            overflow: HashMap::new(),
+            overflow_peak: 0,
+            evictions: 0,
+        }
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a line without touching LRU state.
+    pub fn get(&self, addr: LineAddr) -> Option<&V> {
+        let set = &self.sets[self.set_index(addr)];
+        set.iter()
+            .find(|w| w.addr == addr)
+            .map(|w| &w.value)
+            .or_else(|| self.overflow.get(&addr))
+    }
+
+    /// Looks up a line mutably and refreshes its LRU position.
+    pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(w) = set.iter_mut().find(|w| w.addr == addr) {
+            w.stamp = clock;
+            return Some(&mut w.value);
+        }
+        self.overflow.get_mut(&addr)
+    }
+
+    /// Whether the line is present (in the array or overflow buffer).
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.get(addr).is_some()
+    }
+
+    /// Inserts a line, evicting the LRU way for which `evictable` returns
+    /// true if the set is full. If every way is pinned the line goes to the
+    /// overflow buffer instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present (protocol bugs should be loud).
+    pub fn insert(
+        &mut self,
+        addr: LineAddr,
+        value: V,
+        evictable: impl Fn(LineAddr, &V) -> bool,
+    ) -> InsertOutcome<V> {
+        assert!(!self.contains(addr), "line {addr} inserted twice");
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if set.len() < self.assoc {
+            set.push(Way {
+                addr,
+                value,
+                stamp: clock,
+            });
+            return InsertOutcome {
+                evicted: None,
+                overflowed: false,
+            };
+        }
+        // Evict the least-recently-used evictable way.
+        let victim = set
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| evictable(w.addr, &w.value))
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let old = std::mem::replace(
+                    &mut set[i],
+                    Way {
+                        addr,
+                        value,
+                        stamp: clock,
+                    },
+                );
+                self.evictions += 1;
+                InsertOutcome {
+                    evicted: Some((old.addr, old.value)),
+                    overflowed: false,
+                }
+            }
+            None => {
+                self.overflow.insert(addr, value);
+                self.overflow_peak = self.overflow_peak.max(self.overflow.len());
+                InsertOutcome {
+                    evicted: None,
+                    overflowed: true,
+                }
+            }
+        }
+    }
+
+    /// Removes a line, returning its value. Overflowed lines mapping to the
+    /// freed set are promoted back into the array opportunistically.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<V> {
+        if let Some(v) = self.overflow.remove(&addr) {
+            return Some(v);
+        }
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.addr == addr)?;
+        let way = set.remove(pos);
+        self.promote_overflow(idx);
+        Some(way.value)
+    }
+
+    fn promote_overflow(&mut self, set_idx: usize) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        let sets_len = self.sets.len() as u64;
+        let candidate = self
+            .overflow
+            .keys()
+            .find(|a| (a.0 % sets_len) as usize == set_idx)
+            .copied();
+        if let Some(addr) = candidate {
+            if self.sets[set_idx].len() < self.assoc {
+                let value = self.overflow.remove(&addr).expect("candidate present");
+                self.clock += 1;
+                let clock = self.clock;
+                self.sets[set_idx].push(Way {
+                    addr,
+                    value,
+                    stamp: clock,
+                });
+            }
+        }
+    }
+
+    /// Iterates over all resident lines (array + overflow).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &V)> {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|w| (w.addr, &w.value))
+            .chain(self.overflow.iter().map(|(a, v)| (*a, v)))
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum::<usize>() + self.overflow.len()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines currently parked in the overflow buffer.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// High-water mark of the overflow buffer.
+    pub fn overflow_peak(&self) -> usize {
+        self.overflow_peak
+    }
+
+    /// Total LRU evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(4, 2);
+        c.insert(LineAddr(5), 55, |_, _| true);
+        assert_eq!(c.get(LineAddr(5)), Some(&55));
+        assert!(c.contains(LineAddr(5)));
+        assert_eq!(c.remove(LineAddr(5)), Some(55));
+        assert!(!c.contains(LineAddr(5)));
+        assert_eq!(c.remove(LineAddr(5)), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(LineAddr(0), 0, |_, _| true);
+        c.insert(LineAddr(1), 1, |_, _| true);
+        // Touch 0 so that 1 becomes LRU.
+        c.get_mut(LineAddr(0));
+        let out = c.insert(LineAddr(2), 2, |_, _| true);
+        assert_eq!(out.evicted, Some((LineAddr(1), 1)));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(2)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn pinned_ways_are_not_victims() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(LineAddr(0), 0, |_, _| true);
+        c.insert(LineAddr(1), 1, |_, _| true);
+        // Only value 1 is evictable.
+        let out = c.insert(LineAddr(2), 2, |_, v| *v == 1);
+        assert_eq!(out.evicted, Some((LineAddr(1), 1)));
+    }
+
+    #[test]
+    fn all_pinned_goes_to_overflow() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(LineAddr(0), 0, |_, _| true);
+        c.insert(LineAddr(1), 1, |_, _| true);
+        let out = c.insert(LineAddr(2), 2, |_, _| false);
+        assert!(out.overflowed);
+        assert_eq!(out.evicted, None);
+        assert_eq!(c.get(LineAddr(2)), Some(&2));
+        assert_eq!(c.overflow_len(), 1);
+        assert_eq!(c.overflow_peak(), 1);
+    }
+
+    #[test]
+    fn overflow_promotes_when_way_frees() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 1);
+        c.insert(LineAddr(0), 0, |_, _| true);
+        c.insert(LineAddr(1), 1, |_, _| false);
+        assert_eq!(c.overflow_len(), 1);
+        c.remove(LineAddr(0));
+        assert_eq!(c.overflow_len(), 0, "overflowed line should be promoted");
+        assert_eq!(c.get(LineAddr(1)), Some(&1));
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 1);
+        c.insert(LineAddr(0), 10, |_, _| true);
+        *c.get_mut(LineAddr(0)).unwrap() = 20;
+        assert_eq!(c.get(LineAddr(0)), Some(&20));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 1);
+        c.insert(LineAddr(0), 0, |_, _| true);
+        let out = c.insert(LineAddr(1), 1, |_, _| true);
+        assert_eq!(out.evicted, None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iter_covers_array_and_overflow() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 1);
+        c.insert(LineAddr(0), 0, |_, _| true);
+        c.insert(LineAddr(1), 1, |_, _| false);
+        let mut addrs: Vec<u64> = c.iter().map(|(a, _)| a.0).collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(LineAddr(0), 0, |_, _| true);
+        c.insert(LineAddr(0), 0, |_, _| true);
+    }
+}

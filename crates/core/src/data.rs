@@ -1,0 +1,93 @@
+//! Cache-line data model.
+//!
+//! The protocols never look inside a line, so data is modeled as a version
+//! counter plus provenance. This makes *data loss observable*: if a fault
+//! destroyed the only up-to-date copy of a dirty line, a later load would
+//! see a stale version and the [`crate::checker`] would flag it.
+
+use crate::ids::NodeId;
+
+/// The contents of one cache line, modeled as a monotone version number.
+///
+/// Version 0 is the pristine (memory-initialized) content. Every committed
+/// store increments the version, so two copies are identical iff their
+/// versions match.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_core::{LineData, NodeId};
+///
+/// let mut d = LineData::pristine();
+/// assert_eq!(d.version(), 0);
+/// d.write(NodeId::L1(3));
+/// assert_eq!(d.version(), 1);
+/// assert_eq!(d.last_writer(), Some(NodeId::L1(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineData {
+    version: u64,
+    last_writer: Option<NodeId>,
+}
+
+impl LineData {
+    /// The memory-initialized content (version 0, never written).
+    pub const fn pristine() -> Self {
+        LineData {
+            version: 0,
+            last_writer: None,
+        }
+    }
+
+    /// Current version.
+    pub const fn version(self) -> u64 {
+        self.version
+    }
+
+    /// The node whose store produced this version, if any.
+    pub const fn last_writer(self) -> Option<NodeId> {
+        self.last_writer
+    }
+
+    /// Commits a store by `writer`, bumping the version.
+    pub fn write(&mut self, writer: NodeId) {
+        self.version += 1;
+        self.last_writer = Some(writer);
+    }
+}
+
+impl Default for LineData {
+    fn default() -> Self {
+        LineData::pristine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_is_version_zero() {
+        let d = LineData::pristine();
+        assert_eq!(d.version(), 0);
+        assert_eq!(d.last_writer(), None);
+        assert_eq!(LineData::default(), d);
+    }
+
+    #[test]
+    fn writes_bump_version_and_record_writer() {
+        let mut d = LineData::pristine();
+        d.write(NodeId::L1(0));
+        d.write(NodeId::L1(1));
+        assert_eq!(d.version(), 2);
+        assert_eq!(d.last_writer(), Some(NodeId::L1(1)));
+    }
+
+    #[test]
+    fn copies_compare_by_version() {
+        let mut a = LineData::pristine();
+        let b = a;
+        a.write(NodeId::L1(0));
+        assert_ne!(a, b);
+    }
+}

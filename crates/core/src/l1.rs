@@ -1,0 +1,1205 @@
+//! The L1 cache controller.
+//!
+//! Implements the requester side of both protocols:
+//!
+//! * **DirCMP** (paper §2): MOESI stable states, misses through the home L2
+//!   bank, invalidation acks collected at the requester, three-phase
+//!   writebacks.
+//! * **FtDirCMP** (paper §3): on top of DirCMP, the *backup* state when
+//!   sending owned data (§3.1 step 1), the *blocked-ownership* states
+//!   `Mb`/`Eb`/`Ob` while waiting for the backup-deletion acknowledgment
+//!   (§3.1 steps 2–4), the lost-request and lost-backup-deletion-ack
+//!   timeouts (§3.2, §3.4), request serial numbers with reissue (§3.5), and
+//!   the recovery responses to `UnblockPing`/`WbPing`/`OwnershipPing`.
+
+use std::collections::HashMap;
+
+use ftdircmp_sim::{Cycle, DetRng};
+
+use crate::cache::SetAssocCache;
+use crate::checker::Perm;
+use crate::config::SystemConfig;
+use crate::data::LineData;
+use crate::ids::{LineAddr, NodeId};
+use crate::msg::{Message, MsgType};
+use crate::proto::{backoff_delay, Ctx, TimeoutKind};
+use crate::serial::{SerialAllocator, SerialNum};
+
+/// Stable L1 permission states (MOESI; `I` is represented by absence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Perm {
+    /// Shared, clean, read-only.
+    S,
+    /// Exclusive, clean (silent upgrade to `M` on store).
+    E,
+    /// Owned: shared but responsible for supplying data.
+    O,
+    /// Modified: exclusive and dirty.
+    M,
+}
+
+impl L1Perm {
+    fn is_exclusive(self) -> bool {
+        matches!(self, L1Perm::E | L1Perm::M)
+    }
+
+    fn is_owner(self) -> bool {
+        matches!(self, L1Perm::E | L1Perm::M | L1Perm::O)
+    }
+
+    fn checker_perm(self) -> Perm {
+        match self {
+            L1Perm::S | L1Perm::O => Perm::Read,
+            L1Perm::E | L1Perm::M => Perm::Write,
+        }
+    }
+}
+
+/// One resident L1 line. `blocked` marks the blocked-ownership states
+/// (`Mb`/`Eb`/`Ob`): the miss is satisfied but ownership must not move
+/// until the backup-deletion acknowledgment arrives (paper §3.1 step 2).
+#[derive(Debug, Clone)]
+struct L1Entry {
+    perm: L1Perm,
+    data: LineData,
+    blocked: bool,
+}
+
+/// A CPU memory operation presented to the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuOp {
+    /// Line touched.
+    pub addr: LineAddr,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// Outcome of presenting a CPU operation to the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuOutcome {
+    /// Completed locally; the core may continue after the hit latency.
+    Hit,
+    /// A miss was issued; the L1 will signal completion later.
+    Miss,
+    /// The line has a writeback in flight; the L1 parked the operation and
+    /// will retry it (and signal completion) when the writeback resolves.
+    Stalled,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MissKind {
+    Load,
+    Store,
+}
+
+#[derive(Debug, Clone)]
+struct MissMshr {
+    kind: MissKind,
+    serial: SerialNum,
+    data: Option<LineData>,
+    granted_ex: bool,
+    granted_dirty: bool,
+    responded: bool,
+    acks_needed: u8,
+    acks_got: u8,
+    supplier: Option<NodeId>,
+    issued_at: Cycle,
+    retries: u32,
+    gen: u64,
+}
+
+#[derive(Debug, Clone)]
+struct WbMshr {
+    data: Option<LineData>,
+    was_exclusive: bool,
+    dirty: bool,
+    serial: SerialNum,
+    retries: u32,
+    gen: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackupKind {
+    /// Backup created when answering a forwarded request with owned data.
+    ForwardedData {
+        /// Invalidation-ack count the reissued `DataEx` must carry.
+        acks: u8,
+    },
+    /// Backup created when sending `WbData` (kept in the writeback buffer).
+    Writeback,
+}
+
+#[derive(Debug, Clone)]
+struct Backup {
+    data: LineData,
+    dirty: bool,
+    dest: NodeId,
+    serial: SerialNum,
+    kind: BackupKind,
+    retries: u32,
+    gen: u64,
+}
+
+/// Record of the most recent unblock this L1 sent for a line, so an
+/// `UnblockPing` for that (completed) transaction can be answered exactly.
+/// Overwriting per line is safe: the directory serializes transactions, so a
+/// newer completion implies the older unblock was received. (In hardware
+/// this table would be bounded; see DESIGN.md §4.)
+#[derive(Debug, Clone, Copy)]
+struct CompletedTx {
+    was_store: bool,
+    exclusive: bool,
+    acko: bool,
+}
+
+#[derive(Debug, Clone)]
+struct AckBdPending {
+    peer: NodeId,
+    serial: SerialNum,
+    retries: u32,
+    gen: u64,
+}
+
+/// The L1 cache controller for one tile.
+#[derive(Debug)]
+pub struct L1Controller {
+    tile: u8,
+    me: NodeId,
+    ft: bool,
+    cache: SetAssocCache<L1Entry>,
+    miss: HashMap<LineAddr, MissMshr>,
+    wb: HashMap<LineAddr, WbMshr>,
+    backups: HashMap<LineAddr, Backup>,
+    ackbd: HashMap<LineAddr, AckBdPending>,
+    deferred: HashMap<LineAddr, Vec<Message>>,
+    unblocked: HashMap<LineAddr, CompletedTx>,
+    stalled_ops: Vec<CpuOp>,
+    serials: SerialAllocator,
+    gen_counter: u64,
+}
+
+impl L1Controller {
+    /// Creates the controller for `tile`.
+    pub fn new(tile: u8, config: &SystemConfig, rng: &mut DetRng) -> Self {
+        L1Controller {
+            tile,
+            me: NodeId::L1(tile),
+            ft: config.protocol.is_fault_tolerant(),
+            cache: SetAssocCache::new(config.l1_sets(), config.l1_assoc),
+            miss: HashMap::new(),
+            wb: HashMap::new(),
+            backups: HashMap::new(),
+            ackbd: HashMap::new(),
+            deferred: HashMap::new(),
+            unblocked: HashMap::new(),
+            stalled_ops: Vec::new(),
+            serials: SerialAllocator::new(config.ft.serial_bits, rng),
+            gen_counter: 0,
+        }
+    }
+
+    /// This controller's node id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Whether a miss or writeback is in flight for any line.
+    pub fn is_idle(&self) -> bool {
+        self.miss.is_empty()
+            && self.wb.is_empty()
+            && self.ackbd.is_empty()
+            && self.backups.is_empty()
+    }
+
+    /// Resident-line count (diagnostics).
+    pub fn resident_lines(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Peak overflow-buffer occupancy (diagnostics).
+    pub fn overflow_peak(&self) -> usize {
+        self.cache.overflow_peak()
+    }
+
+    /// Human-readable summary of in-flight state (deadlock diagnostics).
+    pub fn pending_summary(&self) -> String {
+        let mut out = String::new();
+        for (a, m) in &self.miss {
+            out.push_str(&format!(
+                "{} miss {a} kind={:?} serial={} responded={} acks={}/{} retries={}\n",
+                self.me, m.kind, m.serial, m.responded, m.acks_got, m.acks_needed, m.retries
+            ));
+        }
+        for (a, w) in &self.wb {
+            out.push_str(&format!(
+                "{} wb {a} serial={} data={}\n",
+                self.me,
+                w.serial,
+                w.data.is_some()
+            ));
+        }
+        for (a, b) in &self.backups {
+            out.push_str(&format!(
+                "{} backup {a} dest={} serial={} kind={:?}\n",
+                self.me, b.dest, b.serial, b.kind
+            ));
+        }
+        for (a, p) in &self.ackbd {
+            out.push_str(&format!(
+                "{} ackbd-pending {a} peer={} serial={}\n",
+                self.me, p.peer, p.serial
+            ));
+        }
+        for (a, q) in &self.deferred {
+            out.push_str(&format!("{} deferred {a} n={}\n", self.me, q.len()));
+        }
+        for op in &self.stalled_ops {
+            out.push_str(&format!("{} stalled-op {:?}\n", self.me, op));
+        }
+        out
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        self.gen_counter += 1;
+        self.gen_counter
+    }
+
+    fn home(&self, addr: LineAddr, config: &SystemConfig) -> NodeId {
+        NodeId::L2(addr.home_bank(config.tiles))
+    }
+
+    fn fresh_serial(&mut self) -> SerialNum {
+        if self.ft {
+            self.serials.fresh()
+        } else {
+            SerialNum::ZERO
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU interface
+    // ------------------------------------------------------------------
+
+    /// Presents a CPU memory operation.
+    pub fn cpu_access(&mut self, op: CpuOp, ctx: &mut Ctx<'_>) -> CpuOutcome {
+        debug_assert!(
+            !self.miss.contains_key(&op.addr),
+            "core issued a second op to a line with a miss in flight"
+        );
+        if let Some(entry) = self.cache.get_mut(op.addr) {
+            if !op.is_store {
+                let version = entry.data.version();
+                ctx.stats.l1_load_hits.incr();
+                ctx.checker
+                    .load_observed(self.me, op.addr, version, ctx.now);
+                return CpuOutcome::Hit;
+            }
+            match entry.perm {
+                L1Perm::M => {
+                    entry.data.write(self.me);
+                    let v = entry.data.version();
+                    ctx.stats.l1_store_hits.incr();
+                    ctx.checker.store_committed(self.me, op.addr, v, ctx.now);
+                    return CpuOutcome::Hit;
+                }
+                L1Perm::E => {
+                    // Silent E→M upgrade.
+                    entry.perm = L1Perm::M;
+                    entry.data.write(self.me);
+                    let v = entry.data.version();
+                    ctx.stats.l1_store_hits.incr();
+                    ctx.checker.store_committed(self.me, op.addr, v, ctx.now);
+                    return CpuOutcome::Hit;
+                }
+                L1Perm::S | L1Perm::O => {
+                    // Upgrade miss: fall through keeping the entry.
+                }
+            }
+        }
+        if self.wb.contains_key(&op.addr) {
+            // A writeback of this very line is in flight; park the op.
+            self.stalled_ops.push(op);
+            return CpuOutcome::Stalled;
+        }
+        self.issue_miss(op, ctx);
+        CpuOutcome::Miss
+    }
+
+    fn issue_miss(&mut self, op: CpuOp, ctx: &mut Ctx<'_>) {
+        let kind = if op.is_store {
+            MissKind::Store
+        } else {
+            MissKind::Load
+        };
+        if op.is_store {
+            ctx.stats.l1_store_misses.incr();
+        } else {
+            ctx.stats.l1_load_misses.incr();
+        }
+        let serial = self.fresh_serial();
+        let gen = self.next_gen();
+        ctx.stats
+            .l1_mshr_occupancy
+            .record(self.miss.len() as u64 + 1);
+        self.miss.insert(
+            op.addr,
+            MissMshr {
+                kind,
+                serial,
+                data: None,
+                granted_ex: false,
+                granted_dirty: false,
+                responded: false,
+                acks_needed: 0,
+                acks_got: 0,
+                supplier: None,
+                issued_at: ctx.now,
+                retries: 0,
+                gen,
+            },
+        );
+        let mtype = if op.is_store {
+            MsgType::GetX
+        } else {
+            MsgType::GetS
+        };
+        let home = self.home(op.addr, ctx.config);
+        ctx.send(
+            Message::new(mtype, op.addr, self.me, home).serial(serial),
+            1,
+        );
+        if self.ft {
+            ctx.arm_timeout(
+                self.me,
+                op.addr,
+                TimeoutKind::LostRequest,
+                gen,
+                ctx.config.ft.lost_request_timeout,
+            );
+        }
+    }
+
+    fn try_complete(&mut self, addr: LineAddr, ctx: &mut Ctx<'_>) {
+        let Some(m) = self.miss.get(&addr) else {
+            return;
+        };
+        if !m.responded {
+            return;
+        }
+        if m.granted_ex && m.acks_got < m.acks_needed {
+            return;
+        }
+        let m = self.miss.remove(&addr).expect("just checked");
+        let supplier = m.supplier;
+        let data_came = m.data.is_some();
+
+        // Decide the final permission. An exclusive grant of dirty data must
+        // install as M: a clean E could later evict silently (WbNoData) and
+        // lose the only up-to-date copy.
+        let perm = match (m.kind, m.granted_ex) {
+            (MissKind::Load, false) => L1Perm::S,
+            (MissKind::Load, true) if m.granted_dirty => L1Perm::M,
+            (MissKind::Load, true) => L1Perm::E,
+            (MissKind::Store, true) => L1Perm::M,
+            (MissKind::Store, false) => {
+                // A GetX is always answered exclusively; treat defensively.
+                L1Perm::M
+            }
+        };
+        let blocked = self.ft && data_came && m.granted_ex;
+
+        // Install or update the line.
+        if let Some(entry) = self.cache.get_mut(addr) {
+            if let Some(d) = m.data {
+                entry.data = d;
+            }
+            entry.perm = perm;
+            entry.blocked = blocked;
+        } else {
+            let data = m
+                .data
+                .expect("miss completed without data and without a resident line");
+            self.install_line(
+                addr,
+                L1Entry {
+                    perm,
+                    data,
+                    blocked,
+                },
+                ctx,
+            );
+        }
+        ctx.checker
+            .set_perm(self.me, addr, perm.checker_perm(), ctx.now);
+
+        // Commit the CPU operation.
+        let entry = self.cache.get_mut(addr).expect("line just installed");
+        match m.kind {
+            MissKind::Store => {
+                entry.data.write(self.me);
+                let v = entry.data.version();
+                ctx.checker.store_committed(self.me, addr, v, ctx.now);
+            }
+            MissKind::Load => {
+                let v = entry.data.version();
+                ctx.checker.load_observed(self.me, addr, v, ctx.now);
+            }
+        }
+
+        // Unblock the directory; run the FT ownership handshake (§3.1).
+        let home = self.home(addr, ctx.config);
+        let unblock_type = if m.granted_ex {
+            MsgType::UnblockEx
+        } else {
+            MsgType::Unblock
+        };
+        let mut unblock = Message::new(unblock_type, addr, self.me, home).serial(m.serial);
+        if blocked {
+            let supplier = supplier.expect("exclusive data has a supplier");
+            if supplier == home {
+                // AckO piggybacks on the UnblockEx (§3.1).
+                unblock = unblock.with_acko();
+            } else {
+                ctx.send(
+                    Message::new(MsgType::AckO, addr, self.me, supplier).serial(m.serial),
+                    1,
+                );
+            }
+            let gen = self.next_gen();
+            self.ackbd.insert(
+                addr,
+                AckBdPending {
+                    peer: supplier,
+                    serial: m.serial,
+                    retries: 0,
+                    gen,
+                },
+            );
+            ctx.arm_timeout(
+                self.me,
+                addr,
+                TimeoutKind::LostAckBd,
+                gen,
+                ctx.config.ft.lost_ackbd_timeout,
+            );
+        }
+        self.unblocked.insert(
+            addr,
+            CompletedTx {
+                was_store: m.kind == MissKind::Store,
+                exclusive: m.granted_ex,
+                acko: unblock.piggy_acko,
+            },
+        );
+        ctx.send(unblock, 1);
+
+        ctx.stats.miss_latency.record(ctx.now - m.issued_at);
+        ctx.complete(self.tile, addr, m.kind == MissKind::Store, 1);
+    }
+
+    fn install_line(&mut self, addr: LineAddr, entry: L1Entry, ctx: &mut Ctx<'_>) {
+        let outcome = self.cache.insert(addr, entry, |_, e| !e.blocked);
+        if let Some((vaddr, ventry)) = outcome.evicted {
+            self.evict(vaddr, ventry, ctx);
+        }
+    }
+
+    fn evict(&mut self, vaddr: LineAddr, ventry: L1Entry, ctx: &mut Ctx<'_>) {
+        debug_assert!(!ventry.blocked);
+        match ventry.perm {
+            L1Perm::S => {
+                // Silent eviction of a clean shared line.
+                ctx.checker.set_perm(self.me, vaddr, Perm::None, ctx.now);
+            }
+            L1Perm::M | L1Perm::E | L1Perm::O => {
+                self.start_writeback(vaddr, ventry, ctx);
+            }
+        }
+    }
+
+    fn start_writeback(&mut self, vaddr: LineAddr, ventry: L1Entry, ctx: &mut Ctx<'_>) {
+        let serial = self.fresh_serial();
+        let gen = self.next_gen();
+        self.wb.insert(
+            vaddr,
+            WbMshr {
+                data: Some(ventry.data),
+                was_exclusive: ventry.perm.is_exclusive(),
+                dirty: matches!(ventry.perm, L1Perm::M | L1Perm::O),
+                serial,
+                retries: 0,
+                gen,
+            },
+        );
+        ctx.checker.set_perm(self.me, vaddr, Perm::None, ctx.now);
+        ctx.stats.l1_writebacks.incr();
+        let home = self.home(vaddr, ctx.config);
+        ctx.send(
+            Message::new(MsgType::Put, vaddr, self.me, home).serial(serial),
+            1,
+        );
+        if self.ft {
+            ctx.arm_timeout(
+                self.me,
+                vaddr,
+                TimeoutKind::LostRequest,
+                gen,
+                ctx.config.ft.lost_request_timeout,
+            );
+        }
+    }
+
+    fn retry_stalled(&mut self, ctx: &mut Ctx<'_>) {
+        let ready: Vec<CpuOp> = {
+            let wb = &self.wb;
+            let (ready, parked): (Vec<CpuOp>, Vec<CpuOp>) = self
+                .stalled_ops
+                .drain(..)
+                .partition(|op| !wb.contains_key(&op.addr));
+            self.stalled_ops = parked;
+            ready
+        };
+        for op in ready {
+            match self.cpu_access(op, ctx) {
+                CpuOutcome::Hit => {
+                    ctx.complete(self.tile, op.addr, op.is_store, ctx.config.l1_hit_cycles);
+                }
+                CpuOutcome::Miss => {} // completion will come from try_complete
+                CpuOutcome::Stalled => {} // parked again (new wb appeared)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Handles an incoming network message.
+    pub fn handle_message(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg.mtype {
+            MsgType::Data => self.on_data(msg, false, ctx),
+            MsgType::DataEx => self.on_data(msg, true, ctx),
+            MsgType::Ack => self.on_ack(msg, ctx),
+            MsgType::Inv => self.on_inv(msg, ctx),
+            MsgType::FwdGetS => self.on_fwd_gets(msg, ctx),
+            MsgType::FwdGetX => self.on_fwd_getx(msg, ctx),
+            MsgType::WbAck => self.on_wback(msg, ctx),
+            MsgType::AckO => self.on_acko(msg, ctx),
+            MsgType::AckBD => self.on_ackbd(msg, ctx),
+            MsgType::UnblockPing => self.on_unblock_ping(msg, ctx),
+            MsgType::WbPing => self.on_wb_ping(msg, ctx),
+            MsgType::OwnershipPing => self.on_ownership_ping(msg, ctx),
+            MsgType::NackO => self.on_nacko(msg, ctx),
+            other => {
+                debug_assert!(false, "L1 received unexpected {other}");
+            }
+        }
+    }
+
+    fn serial_matches(&self, expected: SerialNum, got: SerialNum) -> bool {
+        !self.ft || expected == got
+    }
+
+    fn on_data(&mut self, msg: Message, exclusive: bool, ctx: &mut Ctx<'_>) {
+        let Some(m) = self.miss.get_mut(&msg.addr) else {
+            // The transaction already finished: this is a duplicate from a
+            // reissue whose original was merely slow, i.e. a false positive.
+            ctx.stats.stale_discards.incr();
+            ctx.stats.false_positives.incr();
+            return;
+        };
+        if self.ft && m.serial != msg.serial {
+            ctx.stats.stale_discards.incr();
+            ctx.stats.false_positives.incr();
+            return;
+        }
+        m.responded = true;
+        m.granted_ex = exclusive;
+        m.granted_dirty = msg.data_dirty;
+        m.acks_needed = msg.ack_count;
+        m.supplier = Some(msg.src);
+        if msg.data.is_some() {
+            m.data = msg.data;
+        }
+        self.try_complete(msg.addr, ctx);
+    }
+
+    fn on_ack(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let Some(m) = self.miss.get_mut(&msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if self.ft && m.serial != msg.serial {
+            // The stale acknowledgment of the paper's Figure 2: must be
+            // discarded or it could be mis-counted towards the reissued
+            // request.
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        m.acks_got += 1;
+        self.try_complete(msg.addr, ctx);
+    }
+
+    fn on_inv(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // Always acknowledge: the directory's sharer list may be stale
+        // (silent S evictions), and the requester is counting.
+        ctx.send(
+            Message::new(MsgType::Ack, msg.addr, self.me, msg.requester)
+                .requester(msg.requester)
+                .serial(msg.serial),
+            1,
+        );
+        if let Some(entry) = self.cache.get(msg.addr) {
+            if entry.perm.is_exclusive() || entry.blocked {
+                // A stale Inv from a reissued older transaction (only
+                // possible under FtDirCMP): the Ack above carries the stale
+                // serial and will be discarded; keep the line.
+                debug_assert!(self.ft, "Inv reached an exclusive owner under DirCMP");
+                return;
+            }
+            self.cache.remove(msg.addr);
+            ctx.checker.set_perm(self.me, msg.addr, Perm::None, ctx.now);
+        }
+        // An upgrade in progress (SM/OM) keeps its MSHR: the full data will
+        // arrive with the eventual DataEx.
+    }
+
+    fn on_fwd_gets(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        if let Some(entry) = self.cache.get_mut(msg.addr) {
+            if entry.blocked {
+                self.deferred.entry(msg.addr).or_default().push(msg);
+                ctx.stats.deferred_forwards.incr();
+                return;
+            }
+            if entry.perm.is_owner() {
+                let data = entry.data;
+                entry.perm = L1Perm::O;
+                ctx.checker.set_perm(self.me, msg.addr, Perm::Read, ctx.now);
+                ctx.send(
+                    Message::new(MsgType::Data, msg.addr, self.me, msg.requester)
+                        .requester(msg.requester)
+                        .serial(msg.serial)
+                        .data(data),
+                    1,
+                );
+                return;
+            }
+        }
+        if let Some(wbm) = self.wb.get(&msg.addr) {
+            if let Some(data) = wbm.data {
+                // Owner with a writeback in flight still supplies data.
+                ctx.send(
+                    Message::new(MsgType::Data, msg.addr, self.me, msg.requester)
+                        .requester(msg.requester)
+                        .serial(msg.serial)
+                        .data(data),
+                    1,
+                );
+                return;
+            }
+        }
+        ctx.stats.stale_discards.incr();
+    }
+
+    fn on_fwd_getx(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        if let Some(entry) = self.cache.get(msg.addr) {
+            if entry.blocked {
+                self.deferred.entry(msg.addr).or_default().push(msg);
+                ctx.stats.deferred_forwards.incr();
+                return;
+            }
+            if entry.perm.is_owner() {
+                let dirty = matches!(entry.perm, L1Perm::M | L1Perm::O);
+                let entry = self.cache.remove(msg.addr).expect("just found");
+                self.send_owned_data(msg.addr, entry.data, dirty, &msg, ctx);
+                ctx.checker.set_perm(self.me, msg.addr, Perm::None, ctx.now);
+                return;
+            }
+            // A non-owner holding S should never see FwdGetX; drop the copy
+            // defensively and fall through to the stale path.
+            self.cache.remove(msg.addr);
+            ctx.checker.set_perm(self.me, msg.addr, Perm::None, ctx.now);
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        if let Some(wbm) = self.wb.get_mut(&msg.addr) {
+            let dirty = wbm.dirty;
+            if let Some(data) = wbm.data.take() {
+                // Put raced with the forward; ownership goes to the
+                // requester, and the eventual WbAck will be stale.
+                self.send_owned_data(msg.addr, data, dirty, &msg, ctx);
+                return;
+            }
+        }
+        if let Some(b) = self.backups.get_mut(&msg.addr) {
+            // Reissued forward: resend from the backup with the new serial
+            // (§3.2: a node in backup state must detect reissued requests).
+            b.serial = msg.serial;
+            b.dest = msg.requester;
+            b.kind = BackupKind::ForwardedData {
+                acks: msg.ack_count,
+            };
+            let (data, dirty) = (b.data, b.dirty);
+            ctx.send(
+                Message::new(MsgType::DataEx, msg.addr, self.me, msg.requester)
+                    .requester(msg.requester)
+                    .serial(msg.serial)
+                    .acks(msg.ack_count)
+                    .data(data)
+                    .dirty(dirty),
+                1,
+            );
+            return;
+        }
+        ctx.stats.stale_discards.incr();
+    }
+
+    /// Sends owned data in response to a forwarded request; under FtDirCMP
+    /// the data is retained as a backup until the ownership acknowledgment
+    /// arrives (§3.1 step 1).
+    fn send_owned_data(
+        &mut self,
+        addr: LineAddr,
+        data: LineData,
+        dirty: bool,
+        msg: &Message,
+        ctx: &mut Ctx<'_>,
+    ) {
+        ctx.send(
+            Message::new(MsgType::DataEx, addr, self.me, msg.requester)
+                .requester(msg.requester)
+                .serial(msg.serial)
+                .acks(msg.ack_count)
+                .data(data)
+                .dirty(dirty),
+            1,
+        );
+        if self.ft {
+            let gen = self.next_gen();
+            self.backups.insert(
+                addr,
+                Backup {
+                    data,
+                    dirty,
+                    dest: msg.requester,
+                    serial: msg.serial,
+                    kind: BackupKind::ForwardedData {
+                        acks: msg.ack_count,
+                    },
+                    retries: 0,
+                    gen,
+                },
+            );
+            ctx.checker.backup_created(self.me, addr, ctx.now);
+            ctx.arm_timeout(
+                self.me,
+                addr,
+                TimeoutKind::LostData,
+                gen,
+                ctx.config.ft.lost_data_timeout,
+            );
+        }
+    }
+
+    fn on_wback(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let Some(wbm) = self.wb.get(&msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if !self.serial_matches(wbm.serial, msg.serial) {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        let wbm = self.wb.remove(&msg.addr).expect("just checked");
+        if msg.wb_stale {
+            // Ownership moved while the Put was queued. If the forward has
+            // not reached us yet (possible on an unordered network), we
+            // still hold the data: reinstate the line so we can answer it.
+            if let Some(data) = wbm.data {
+                let perm = if wbm.was_exclusive {
+                    L1Perm::M
+                } else {
+                    L1Perm::O
+                };
+                ctx.checker
+                    .set_perm(self.me, msg.addr, perm.checker_perm(), ctx.now);
+                self.install_line(
+                    msg.addr,
+                    L1Entry {
+                        perm,
+                        data,
+                        blocked: false,
+                    },
+                    ctx,
+                );
+            }
+            self.retry_stalled(ctx);
+            return;
+        }
+        match wbm.data {
+            Some(data) if wbm.dirty || msg.wb_wants_data => {
+                ctx.send(
+                    Message::new(MsgType::WbData, msg.addr, self.me, msg.src)
+                        .serial(msg.serial)
+                        .data(data)
+                        .dirty(wbm.dirty),
+                    1,
+                );
+                if self.ft {
+                    let gen = self.next_gen();
+                    self.backups.insert(
+                        msg.addr,
+                        Backup {
+                            data,
+                            dirty: wbm.dirty,
+                            dest: msg.src,
+                            serial: msg.serial,
+                            kind: BackupKind::Writeback,
+                            retries: 0,
+                            gen,
+                        },
+                    );
+                    ctx.checker.backup_created(self.me, msg.addr, ctx.now);
+                    ctx.arm_timeout(
+                        self.me,
+                        msg.addr,
+                        TimeoutKind::LostData,
+                        gen,
+                        ctx.config.ft.lost_data_timeout,
+                    );
+                }
+            }
+            _ => {
+                // Clean (E) line, or data already surrendered to a forward.
+                ctx.send(
+                    Message::new(MsgType::WbNoData, msg.addr, self.me, msg.src).serial(msg.serial),
+                    1,
+                );
+            }
+        }
+        self.retry_stalled(ctx);
+    }
+
+    fn on_acko(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        if self.backups.remove(&msg.addr).is_some() {
+            ctx.checker.backup_deleted(self.me, msg.addr, ctx.now);
+        }
+        // Respond even without a backup: a reissued AckO after the original
+        // round trip completed must still be answered (§3.4).
+        ctx.send(
+            Message::new(MsgType::AckBD, msg.addr, self.me, msg.src).serial(msg.serial),
+            1,
+        );
+    }
+
+    fn on_ackbd(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let Some(p) = self.ackbd.get(&msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if p.serial != msg.serial {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        self.ackbd.remove(&msg.addr);
+        if let Some(entry) = self.cache.get_mut(msg.addr) {
+            entry.blocked = false;
+        }
+        // Drain forwards deferred while in the blocked-ownership state.
+        if let Some(queue) = self.deferred.remove(&msg.addr) {
+            for m in queue {
+                self.handle_message(m, ctx);
+            }
+        }
+    }
+
+    fn on_unblock_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // Which transaction does the ping refer to? The directory serializes
+        // transactions per line, and (our earlier same-kind rule) a pending
+        // request of the same kind as the open transaction always merges
+        // into it — so the *kind* carried by the ping identifies the
+        // transaction unambiguously, where small serial numbers could
+        // collide across transactions.
+        //
+        // 1. The open transaction is our current, unresolved miss: ignore
+        //    (§3.3) — our own lost-request reissue is the recovery path.
+        if let Some(m) = self.miss.get(&msg.addr) {
+            if (m.kind == MissKind::Store) == msg.ping_for_store {
+                return;
+            }
+        }
+        // 2. We completed a transaction of that kind and its unblock was
+        //    lost: resend exactly what we sent then.
+        if let Some(c) = self.unblocked.get(&msg.addr) {
+            if c.was_store == msg.ping_for_store {
+                let mtype = if c.exclusive {
+                    MsgType::UnblockEx
+                } else {
+                    MsgType::Unblock
+                };
+                let mut reply = Message::new(mtype, msg.addr, self.me, msg.src).serial(msg.serial);
+                if c.acko {
+                    reply = reply.with_acko();
+                }
+                ctx.send(reply, 1);
+                return;
+            }
+        }
+        // 3. No record (possible only for stale pings or pre-record history):
+        //    answer conservatively from the current cache state.
+        let reply_type = if let Some(entry) = self.cache.get(msg.addr) {
+            if entry.perm.is_exclusive() {
+                MsgType::UnblockEx
+            } else {
+                MsgType::Unblock
+            }
+        } else if let Some(wbm) = self.wb.get(&msg.addr) {
+            if wbm.was_exclusive {
+                MsgType::UnblockEx
+            } else {
+                MsgType::Unblock
+            }
+        } else {
+            MsgType::Unblock
+        };
+        let mut reply = Message::new(reply_type, msg.addr, self.me, msg.src).serial(msg.serial);
+        if reply_type == MsgType::UnblockEx {
+            if let Some(p) = self.ackbd.get(&msg.addr) {
+                if p.peer == msg.src {
+                    reply = reply.with_acko();
+                }
+            }
+        }
+        ctx.send(reply, 1);
+    }
+
+    fn on_wb_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        if let Some(wbm) = self.wb.get(&msg.addr) {
+            // Our WbAck was lost: the ping substitutes for it (it carries
+            // the same serial the L2's transaction expects).
+            let serial = wbm.serial;
+            let mut as_wback =
+                Message::new(MsgType::WbAck, msg.addr, msg.src, self.me).serial(serial);
+            as_wback.wb_wants_data = msg.wb_wants_data;
+            self.on_wback(as_wback, ctx);
+            return;
+        }
+        if let Some(b) = self.backups.get_mut(&msg.addr) {
+            if b.kind == BackupKind::Writeback && b.dest == msg.src {
+                b.serial = msg.serial;
+                let (data, dirty) = (b.data, b.dirty);
+                ctx.send(
+                    Message::new(MsgType::WbData, msg.addr, self.me, msg.src)
+                        .serial(msg.serial)
+                        .data(data)
+                        .dirty(dirty),
+                    1,
+                );
+                return;
+            }
+        }
+        ctx.send(
+            Message::new(MsgType::WbCancel, msg.addr, self.me, msg.src).serial(msg.serial),
+            1,
+        );
+    }
+
+    fn on_ownership_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let have_ownership = self.cache.contains(msg.addr)
+            || self.wb.contains_key(&msg.addr)
+            || self.backups.contains_key(&msg.addr);
+        let pending_miss = self.miss.contains_key(&msg.addr);
+        let reply = if have_ownership && !pending_miss {
+            MsgType::AckO
+        } else {
+            MsgType::NackO
+        };
+        ctx.send(
+            Message::new(reply, msg.addr, self.me, msg.src).serial(msg.serial),
+            1,
+        );
+    }
+
+    fn on_nacko(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let Some(b) = self.backups.get(&msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if b.serial != msg.serial {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        // The destination never received the owned data: resend it.
+        let (data, dirty, dest, serial, kind) = (b.data, b.dirty, b.dest, b.serial, b.kind);
+        match kind {
+            BackupKind::ForwardedData { acks } => {
+                ctx.send(
+                    Message::new(MsgType::DataEx, msg.addr, self.me, dest)
+                        .requester(dest)
+                        .serial(serial)
+                        .acks(acks)
+                        .data(data)
+                        .dirty(dirty),
+                    1,
+                );
+            }
+            BackupKind::Writeback => {
+                ctx.send(
+                    Message::new(MsgType::WbData, msg.addr, self.me, dest)
+                        .serial(serial)
+                        .data(data)
+                        .dirty(dirty),
+                    1,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timeouts
+    // ------------------------------------------------------------------
+
+    /// Handles a fired timeout; stale generations are ignored.
+    pub fn handle_timeout(
+        &mut self,
+        kind: TimeoutKind,
+        addr: LineAddr,
+        gen: u64,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match kind {
+            TimeoutKind::LostRequest => self.on_lost_request(addr, gen, ctx),
+            TimeoutKind::LostAckBd => self.on_lost_ackbd(addr, gen, ctx),
+            TimeoutKind::LostData => self.on_lost_data(addr, gen, ctx),
+            TimeoutKind::LostUnblock => {
+                debug_assert!(false, "L1 does not own lost-unblock timers");
+            }
+        }
+    }
+
+    fn on_lost_request(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        // Reissue serials come from the same per-node sequential stream as
+        // fresh requests: still "sequentially increasing" (§3.5), but two
+        // *different* transactions by this node can never collide before the
+        // stream wraps — a chain of `.next()` bumps could alias the serial
+        // the allocator hands to the node's next request.
+        let fresh = self.serials.fresh();
+        if let Some(m) = self.miss.get_mut(&addr) {
+            if m.gen != gen {
+                return;
+            }
+            ctx.stats.record_timeout(TimeoutKind::LostRequest);
+            ctx.stats.reissues.incr();
+            m.serial = fresh;
+            m.retries += 1;
+            m.responded = false;
+            m.granted_ex = false;
+            m.granted_dirty = false;
+            m.data = None;
+            m.acks_needed = 0;
+            m.acks_got = 0;
+            m.supplier = None;
+            self.gen_counter += 1;
+            m.gen = self.gen_counter;
+            let new_gen = m.gen;
+            let mtype = match m.kind {
+                MissKind::Load => MsgType::GetS,
+                MissKind::Store => MsgType::GetX,
+            };
+            let serial = m.serial;
+            let retries = m.retries;
+            let home = NodeId::L2(addr.home_bank(ctx.config.tiles));
+            ctx.send(Message::new(mtype, addr, self.me, home).serial(serial), 1);
+            ctx.arm_timeout(
+                self.me,
+                addr,
+                TimeoutKind::LostRequest,
+                new_gen,
+                backoff_delay(ctx.config.ft.lost_request_timeout, retries),
+            );
+            return;
+        }
+        if let Some(w) = self.wb.get_mut(&addr) {
+            if w.gen != gen {
+                return;
+            }
+            ctx.stats.record_timeout(TimeoutKind::LostRequest);
+            ctx.stats.reissues.incr();
+            w.serial = fresh;
+            w.retries += 1;
+            self.gen_counter += 1;
+            w.gen = self.gen_counter;
+            let new_gen = w.gen;
+            let serial = w.serial;
+            let retries = w.retries;
+            let home = self.home(addr, ctx.config);
+            ctx.send(
+                Message::new(MsgType::Put, addr, self.me, home).serial(serial),
+                1,
+            );
+            ctx.arm_timeout(
+                self.me,
+                addr,
+                TimeoutKind::LostRequest,
+                new_gen,
+                backoff_delay(ctx.config.ft.lost_request_timeout, retries),
+            );
+        }
+    }
+
+    fn on_lost_ackbd(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        let fresh = self.serials.fresh();
+        let Some(p) = self.ackbd.get_mut(&addr) else {
+            return;
+        };
+        if p.gen != gen {
+            return;
+        }
+        ctx.stats.record_timeout(TimeoutKind::LostAckBd);
+        p.serial = fresh;
+        p.retries += 1;
+        self.gen_counter += 1;
+        p.gen = self.gen_counter;
+        let (peer, serial, new_gen, retries) = (p.peer, p.serial, p.gen, p.retries);
+        ctx.send(
+            Message::new(MsgType::AckO, addr, self.me, peer).serial(serial),
+            1,
+        );
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostAckBd,
+            new_gen,
+            backoff_delay(ctx.config.ft.lost_ackbd_timeout, retries),
+        );
+    }
+
+    fn on_lost_data(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        let Some(b) = self.backups.get_mut(&addr) else {
+            return;
+        };
+        if b.gen != gen {
+            return;
+        }
+        ctx.stats.record_timeout(TimeoutKind::LostData);
+        b.retries += 1;
+        self.gen_counter += 1;
+        b.gen = self.gen_counter;
+        let (dest, serial, new_gen, retries) = (b.dest, b.serial, b.gen, b.retries);
+        ctx.send(
+            Message::new(MsgType::OwnershipPing, addr, self.me, dest).serial(serial),
+            1,
+        );
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostData,
+            new_gen,
+            backoff_delay(ctx.config.ft.lost_data_timeout, retries),
+        );
+    }
+}
+
+#[cfg(test)]
+#[path = "l1_tests.rs"]
+mod tests;

@@ -1,0 +1,1519 @@
+//! The L2 bank controller: shared cache bank + on-chip directory.
+//!
+//! Each bank is the *home* for a slice of the address space and acts as the
+//! directory for the L1 caches (paper §2): per-line busy states serialize
+//! transactions, three-phase writebacks coordinate evictions, and the
+//! migratory-sharing optimization converts read requests to migratory lines
+//! into exclusive grants.
+//!
+//! Under FtDirCMP the bank additionally implements the §3.1.1 relaxation:
+//! data arriving from memory is forwarded to the requesting L1 immediately,
+//! with the bank keeping a backup and the line marked *internally* blocked
+//! (L1-facing handshake pending) and *externally* blocked (memory-facing
+//! handshake pending) — so L2 misses see no added latency, yet at most one
+//! backup exists outside the chip.
+
+use std::collections::{HashMap, VecDeque};
+
+use ftdircmp_sim::DetRng;
+
+use crate::cache::SetAssocCache;
+use crate::config::SystemConfig;
+use crate::data::LineData;
+use crate::ids::{LineAddr, NodeId, SharerSet};
+use crate::msg::{Message, MsgType};
+use crate::proto::{backoff_delay, Ctx, TimeoutKind};
+use crate::serial::{SerialAllocator, SerialNum};
+
+/// Directory + data state of one line resident in this bank.
+#[derive(Debug, Clone)]
+struct L2Line {
+    /// Data held by the bank (`None` while an L1 owns the line).
+    data: Option<LineData>,
+    /// Bank data differs from memory.
+    dirty: bool,
+    /// L1 tile currently owning the line (M/E/O), if any.
+    owner: Option<u8>,
+    /// L1 tiles holding shared copies (may overapproximate: S evictions are
+    /// silent).
+    sharers: SharerSet,
+    /// Migratory-sharing bit (paper §2).
+    migratory: bool,
+    /// Most recent requester, for migratory detection.
+    last_getter: Option<u8>,
+    /// Whether the most recent request was a GetS.
+    last_was_gets: bool,
+    /// Consecutive GetS transactions (≥2 clears the migratory bit).
+    consecutive_gets: u8,
+    /// FtDirCMP: externally blocked — the memory-side backup handshake is
+    /// pending, so this line must not be written back or evicted (§3.1.1).
+    ext_blocked: bool,
+}
+
+impl L2Line {
+    fn fresh() -> Self {
+        L2Line {
+            data: None,
+            dirty: false,
+            owner: None,
+            sharers: SharerSet::new(),
+            migratory: false,
+            last_getter: None,
+            last_was_gets: false,
+            consecutive_gets: 0,
+            ext_blocked: false,
+        }
+    }
+}
+
+/// What the bank last sent for the active transaction — kept so a reissued
+/// request can be answered by resending it (§3.2).
+#[derive(Debug, Clone)]
+enum Resp {
+    Data {
+        data: LineData,
+    },
+    DataEx {
+        data: Option<LineData>,
+        dirty: bool,
+        acks: u8,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TbeKind {
+    /// An L1 miss (GetS or GetX) being serviced.
+    Miss { store: bool },
+    /// A three-phase writeback from an L1.
+    Wb,
+    /// Directory-initiated recall of a line with L1 copies (bank eviction).
+    Recall,
+    /// Bank eviction writeback to memory.
+    L2Evict,
+}
+
+#[allow(clippy::enum_variant_names)] // Wait* mirrors the protocol's terminology
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Fill: GetX sent to memory, waiting for DataEx.
+    WaitMem,
+    /// Response or forward sent, waiting for Unblock/UnblockEx.
+    WaitUnblock,
+    /// WbAck sent, waiting for WbData/WbNoData.
+    WaitWbData,
+    /// FT: AckO sent for received WbData, waiting for AckBD.
+    WaitWbAckBd,
+    /// Recall in progress (data and/or invalidation acks outstanding).
+    WaitRecall,
+    /// FT: recall data received, AckO sent, waiting for AckBD.
+    WaitRecallAckBd,
+    /// Bank eviction: Put sent to memory, waiting for WbAck.
+    WaitMemWbAck,
+}
+
+/// Per-line transaction state (the paper's MSHR/TBE at the directory, which
+/// also remembers the *blocker* so reissued requests can be recognized).
+#[derive(Debug, Clone)]
+struct Tbe {
+    kind: TbeKind,
+    stage: Stage,
+    blocker: NodeId,
+    serial: SerialNum,
+    own_serial: SerialNum,
+    inv_targets: Vec<u8>,
+    fwd_to: Option<u8>,
+    fwd_gets: bool,
+    resp: Option<Resp>,
+    /// Fill: data received from memory. Recall/evict: data being saved.
+    data: Option<LineData>,
+    data_dirty: bool,
+    /// Recall: sharers whose invalidation acks are still outstanding.
+    recall_acks: SharerSet,
+    /// Recall: waiting for the owner's data.
+    recall_needs_data: bool,
+    /// This transaction was filled from memory (FT: run the §3.1.1 external
+    /// handshake after the L1 unblocks).
+    from_mem: bool,
+    /// The bank sent data itself and (FT) holds it as backup until AckO.
+    sent_data_backup: bool,
+    unblock_gen: u64,
+    unblock_retries: u32,
+    req_gen: u64,
+    req_retries: u32,
+    ackbd_gen: u64,
+    ackbd_retries: u32,
+    acko_serial: SerialNum,
+}
+
+impl Tbe {
+    fn new(kind: TbeKind, blocker: NodeId, serial: SerialNum) -> Self {
+        Tbe {
+            kind,
+            stage: Stage::WaitUnblock,
+            blocker,
+            serial,
+            own_serial: SerialNum::ZERO,
+            inv_targets: Vec::new(),
+            fwd_to: None,
+            fwd_gets: false,
+            resp: None,
+            data: None,
+            data_dirty: false,
+            recall_acks: SharerSet::new(),
+            recall_needs_data: false,
+            from_mem: false,
+            sent_data_backup: false,
+            unblock_gen: 0,
+            unblock_retries: 0,
+            req_gen: 0,
+            req_retries: 0,
+            ackbd_gen: 0,
+            ackbd_retries: 0,
+            acko_serial: SerialNum::ZERO,
+        }
+    }
+}
+
+/// FT: memory-facing ownership handshake pending after a fill (§3.1.1).
+#[derive(Debug, Clone)]
+struct ExtPending {
+    serial: SerialNum,
+    retries: u32,
+    gen: u64,
+}
+
+/// FT: backup of data written back to memory, held until memory's AckO.
+#[derive(Debug, Clone)]
+struct MemBackup {
+    data: LineData,
+    serial: SerialNum,
+    retries: u32,
+    gen: u64,
+}
+
+/// The L2 bank controller for one tile.
+#[derive(Debug)]
+pub struct L2Controller {
+    tile: u8,
+    me: NodeId,
+    ft: bool,
+    cache: SetAssocCache<L2Line>,
+    tbes: HashMap<LineAddr, Tbe>,
+    waiting: HashMap<LineAddr, VecDeque<Message>>,
+    ext_pending: HashMap<LineAddr, ExtPending>,
+    mem_backups: HashMap<LineAddr, MemBackup>,
+    serials: SerialAllocator,
+    gen_counter: u64,
+}
+
+impl L2Controller {
+    /// Creates the bank controller for `tile`.
+    pub fn new(tile: u8, config: &SystemConfig, rng: &mut DetRng) -> Self {
+        L2Controller {
+            tile,
+            me: NodeId::L2(tile),
+            ft: config.protocol.is_fault_tolerant(),
+            cache: SetAssocCache::new(config.l2_sets(), config.l2_assoc),
+            tbes: HashMap::new(),
+            waiting: HashMap::new(),
+            ext_pending: HashMap::new(),
+            mem_backups: HashMap::new(),
+            serials: SerialAllocator::new(config.ft.serial_bits, rng),
+            gen_counter: 0,
+        }
+    }
+
+    /// This controller's node id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Tile index of this bank.
+    pub fn tile(&self) -> u8 {
+        self.tile
+    }
+
+    /// Whether no transactions or handshakes are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.tbes.is_empty()
+            && self.ext_pending.is_empty()
+            && self.mem_backups.is_empty()
+            && self.waiting.values().all(VecDeque::is_empty)
+    }
+
+    /// Peak overflow-buffer occupancy (diagnostics).
+    pub fn overflow_peak(&self) -> usize {
+        self.cache.overflow_peak()
+    }
+
+    /// Human-readable summary of in-flight state (deadlock diagnostics).
+    pub fn pending_summary(&self) -> String {
+        let mut out = String::new();
+        for (a, t) in &self.tbes {
+            out.push_str(&format!(
+                "{} tbe {a} kind={:?} stage={:?} blocker={} serial={} own={} recall_acks={} needs_data={}\n",
+                self.me, t.kind, t.stage, t.blocker, t.serial, t.own_serial, t.recall_acks, t.recall_needs_data
+            ));
+        }
+        for (a, q) in &self.waiting {
+            if !q.is_empty() {
+                let kinds: Vec<String> =
+                    q.iter().map(|m| format!("{}:{}", m.src, m.mtype)).collect();
+                out.push_str(&format!("{} waiting {a} [{}]\n", self.me, kinds.join(", ")));
+            }
+        }
+        for (a, e) in &self.ext_pending {
+            out.push_str(&format!(
+                "{} ext-pending {a} serial={}\n",
+                self.me, e.serial
+            ));
+        }
+        for (a, b) in &self.mem_backups {
+            out.push_str(&format!("{} mem-backup {a} serial={}\n", self.me, b.serial));
+        }
+        out
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        self.gen_counter += 1;
+        self.gen_counter
+    }
+
+    fn mem_of(&self, addr: LineAddr, config: &SystemConfig) -> NodeId {
+        NodeId::Mem(addr.home_mem(config.mem_controllers))
+    }
+
+    fn fresh_serial(&mut self) -> SerialNum {
+        if self.ft {
+            self.serials.fresh()
+        } else {
+            SerialNum::ZERO
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Entry points
+    // ------------------------------------------------------------------
+
+    /// Handles an incoming network message.
+    pub fn handle_message(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg.mtype {
+            MsgType::GetS | MsgType::GetX | MsgType::Put => self.on_request(msg, ctx),
+            MsgType::Unblock | MsgType::UnblockEx => self.on_unblock(msg, ctx),
+            MsgType::WbData | MsgType::WbNoData | MsgType::WbCancel => self.on_wb_data(msg, ctx),
+            MsgType::Data | MsgType::DataEx => self.on_data(msg, ctx),
+            MsgType::Ack => self.on_ack(msg, ctx),
+            MsgType::WbAck => self.on_mem_wback(msg, ctx),
+            MsgType::AckO => self.on_acko(msg, ctx),
+            MsgType::AckBD => self.on_ackbd(msg, ctx),
+            MsgType::UnblockPing => self.on_unblock_ping(msg, ctx),
+            MsgType::WbPing => self.on_wb_ping(msg, ctx),
+            MsgType::OwnershipPing => self.on_ownership_ping(msg, ctx),
+            MsgType::NackO => self.on_nacko(msg, ctx),
+            other => {
+                debug_assert!(false, "L2 received unexpected {other}");
+            }
+        }
+    }
+
+    /// Handles a fired timeout; stale generations are ignored.
+    pub fn handle_timeout(
+        &mut self,
+        kind: TimeoutKind,
+        addr: LineAddr,
+        gen: u64,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match kind {
+            TimeoutKind::LostUnblock => self.on_lost_unblock(addr, gen, ctx),
+            TimeoutKind::LostRequest => self.on_lost_request(addr, gen, ctx),
+            TimeoutKind::LostAckBd => self.on_lost_ackbd(addr, gen, ctx),
+            TimeoutKind::LostData => self.on_lost_data(addr, gen, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request admission (busy lines, reissue detection, queuing)
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        if let Some(tbe) = self.tbes.get(&msg.addr) {
+            // A message is a *reissue* of the in-service transaction only if
+            // it comes from the blocker AND is the same kind of request
+            // (§3.2: "same requestor and address ... but a different request
+            // serial number"). A different kind from the same node is a new
+            // transaction (e.g. a GetX issued right after a GetS whose
+            // unblock is still in flight) and must be deferred like any
+            // other.
+            let same_kind = match tbe.kind {
+                TbeKind::Miss { store } => {
+                    msg.mtype == if store { MsgType::GetX } else { MsgType::GetS }
+                }
+                TbeKind::Wb => msg.mtype == MsgType::Put,
+                TbeKind::Recall | TbeKind::L2Evict => false,
+            };
+            if tbe.blocker == msg.src && same_kind {
+                if self.ft && tbe.serial != msg.serial {
+                    // A reissued request from the current blocker (§3.2):
+                    // adopt the new serial and repeat the service action.
+                    self.on_reissue(msg, ctx);
+                } // else: duplicate of the in-service request; ignore.
+                return;
+            }
+            // Busy with another requester: defer (per-line busy states, §2).
+            let q = self.waiting.entry(msg.addr).or_default();
+            if let Some(existing) = q
+                .iter_mut()
+                .find(|m| m.src == msg.src && m.mtype == msg.mtype)
+            {
+                // Reissue of a queued request: refresh its serial.
+                existing.serial = msg.serial;
+            } else {
+                q.push_back(msg);
+                ctx.stats.deferred_requests.incr();
+            }
+            return;
+        }
+        self.service_request(msg, ctx);
+    }
+
+    fn on_reissue(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        ctx.stats.false_positives.incr();
+        let Some(tbe) = self.tbes.get_mut(&msg.addr) else {
+            return;
+        };
+        tbe.serial = msg.serial;
+        let serial = msg.serial;
+        let addr = msg.addr;
+        let requester = msg.src;
+        let tbe = self.tbes.get(&addr).expect("just updated").clone();
+        match tbe.stage {
+            Stage::WaitMem => {
+                // The response will be generated when memory answers; it
+                // will carry the updated serial.
+            }
+            Stage::WaitUnblock => {
+                // Resend invalidations (sharers will re-ack with the new
+                // serial; the requester discards old-serial acks).
+                for t in &tbe.inv_targets {
+                    ctx.send(
+                        Message::new(MsgType::Inv, addr, self.me, NodeId::L1(*t))
+                            .requester(requester)
+                            .serial(serial),
+                        ctx.config.l2_tag_cycles,
+                    );
+                }
+                if let Some(owner) = tbe.fwd_to {
+                    let fwd = if tbe.fwd_gets {
+                        MsgType::FwdGetS
+                    } else {
+                        MsgType::FwdGetX
+                    };
+                    ctx.send(
+                        Message::new(fwd, addr, self.me, NodeId::L1(owner))
+                            .requester(requester)
+                            .serial(serial)
+                            .acks(tbe.inv_targets.len() as u8),
+                        ctx.config.l2_tag_cycles,
+                    );
+                } else if let Some(resp) = &tbe.resp {
+                    self.send_resp(addr, requester, serial, resp.clone(), ctx);
+                }
+            }
+            Stage::WaitWbData => {
+                let mut wback =
+                    Message::new(MsgType::WbAck, addr, self.me, requester).serial(serial);
+                wback.wb_wants_data = true;
+                ctx.send(wback, ctx.config.l2_tag_cycles);
+            }
+            _ => {}
+        }
+    }
+
+    fn send_resp(
+        &self,
+        addr: LineAddr,
+        requester: NodeId,
+        serial: SerialNum,
+        resp: Resp,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match resp {
+            Resp::Data { data } => {
+                ctx.send(
+                    Message::new(MsgType::Data, addr, self.me, requester)
+                        .requester(requester)
+                        .serial(serial)
+                        .data(data),
+                    ctx.config.l2_hit_cycles,
+                );
+            }
+            Resp::DataEx { data, dirty, acks } => {
+                let mut m = Message::new(MsgType::DataEx, addr, self.me, requester)
+                    .requester(requester)
+                    .serial(serial)
+                    .acks(acks);
+                if let Some(d) = data {
+                    m = m.data(d).dirty(dirty);
+                }
+                ctx.send(m, ctx.config.l2_hit_cycles);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fresh request servicing
+    // ------------------------------------------------------------------
+
+    fn service_request(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        ctx.stats
+            .l2_tbe_occupancy
+            .record(self.tbes.len() as u64 + 1);
+        match msg.mtype {
+            MsgType::GetS | MsgType::GetX => self.service_get(msg, ctx),
+            MsgType::Put => self.service_put(msg, ctx),
+            _ => unreachable!("only requests are serviced"),
+        }
+    }
+
+    fn service_get(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let store = msg.mtype == MsgType::GetX;
+        let requester_tile = msg.src.index();
+        let addr = msg.addr;
+
+        let Some(line) = self.cache.get_mut(addr) else {
+            // L2 miss: fill from memory (always granted exclusively; this
+            // bank is the only L2-level requester for its slice).
+            ctx.stats.l2_misses.incr();
+            let mut tbe = Tbe::new(TbeKind::Miss { store }, msg.src, msg.serial);
+            tbe.stage = Stage::WaitMem;
+            tbe.own_serial = self.fresh_serial();
+            let own_serial = tbe.own_serial;
+            if self.ft {
+                tbe.req_gen = self.next_gen();
+                let gen = tbe.req_gen;
+                ctx.arm_timeout(
+                    self.me,
+                    addr,
+                    TimeoutKind::LostRequest,
+                    gen,
+                    ctx.config.ft.lost_request_timeout,
+                );
+            }
+            self.tbes.insert(addr, tbe);
+            let mem = self.mem_of(addr, ctx.config);
+            ctx.send(
+                Message::new(MsgType::GetX, addr, self.me, mem).serial(own_serial),
+                ctx.config.l2_tag_cycles,
+            );
+            return;
+        };
+
+        ctx.stats.l2_hits.incr();
+
+        // Migratory-sharing bookkeeping (paper §2).
+        let migratory_grant = if store {
+            if ctx.config.migratory_sharing
+                && line.last_getter == Some(requester_tile)
+                && line.last_was_gets
+            {
+                line.migratory = true;
+            }
+            line.consecutive_gets = 0;
+            line.last_getter = Some(requester_tile);
+            line.last_was_gets = false;
+            false
+        } else {
+            line.consecutive_gets = line.consecutive_gets.saturating_add(1);
+            if line.consecutive_gets >= 2 {
+                line.migratory = false;
+            }
+            line.last_getter = Some(requester_tile);
+            line.last_was_gets = true;
+            line.migratory && line.owner.is_some() && line.sharers.is_empty()
+        };
+        if migratory_grant {
+            ctx.stats.migratory_grants.incr();
+        }
+        let exclusive = store || migratory_grant;
+
+        let mut tbe = Tbe::new(TbeKind::Miss { store }, msg.src, msg.serial);
+
+        if let Some(owner) = line.owner {
+            if store && owner == requester_tile {
+                // Upgrade by the current (O-state) owner: permission plus
+                // ack count, no data (the owner already has it).
+                let invs: Vec<u8> = line
+                    .sharers
+                    .iter()
+                    .filter(|t| *t != requester_tile)
+                    .collect();
+                let resp = Resp::DataEx {
+                    data: None,
+                    dirty: false,
+                    acks: invs.len() as u8,
+                };
+                self.send_resp(addr, msg.src, msg.serial, resp.clone(), ctx);
+                self.send_invs(addr, &invs, msg.src, msg.serial, ctx);
+                tbe.resp = Some(resp);
+                tbe.inv_targets = invs;
+            } else {
+                // Forward to the L1 owner.
+                let invs: Vec<u8> = if exclusive {
+                    line.sharers
+                        .iter()
+                        .filter(|t| *t != requester_tile)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let fwd = if exclusive {
+                    MsgType::FwdGetX
+                } else {
+                    MsgType::FwdGetS
+                };
+                ctx.send(
+                    Message::new(fwd, addr, self.me, NodeId::L1(owner))
+                        .requester(msg.src)
+                        .serial(msg.serial)
+                        .acks(invs.len() as u8),
+                    ctx.config.l2_tag_cycles,
+                );
+                self.send_invs(addr, &invs, msg.src, msg.serial, ctx);
+                tbe.fwd_to = Some(owner);
+                tbe.fwd_gets = !exclusive;
+                tbe.inv_targets = invs;
+            }
+        } else {
+            // The bank itself owns the data.
+            let data = line
+                .data
+                .expect("resident line without owner must hold data");
+            let dirty = line.dirty;
+            if exclusive || line.sharers.is_empty() {
+                // Exclusive grant (GetX, migratory GetS, or GetS with no
+                // sharers → E).
+                let invs: Vec<u8> = line
+                    .sharers
+                    .iter()
+                    .filter(|t| *t != requester_tile)
+                    .collect();
+                let resp = Resp::DataEx {
+                    data: Some(data),
+                    dirty,
+                    acks: invs.len() as u8,
+                };
+                self.send_resp(addr, msg.src, msg.serial, resp.clone(), ctx);
+                self.send_invs(addr, &invs, msg.src, msg.serial, ctx);
+                tbe.resp = Some(resp);
+                tbe.inv_targets = invs;
+                tbe.sent_data_backup = true;
+            } else {
+                let resp = Resp::Data { data };
+                self.send_resp(addr, msg.src, msg.serial, resp.clone(), ctx);
+                tbe.resp = Some(resp);
+            }
+        }
+
+        tbe.stage = Stage::WaitUnblock;
+        self.arm_unblock(&mut tbe, addr, ctx);
+        self.tbes.insert(addr, tbe);
+    }
+
+    fn send_invs(
+        &self,
+        addr: LineAddr,
+        targets: &[u8],
+        requester: NodeId,
+        serial: SerialNum,
+        ctx: &mut Ctx<'_>,
+    ) {
+        for t in targets {
+            ctx.send(
+                Message::new(MsgType::Inv, addr, self.me, NodeId::L1(*t))
+                    .requester(requester)
+                    .serial(serial),
+                ctx.config.l2_tag_cycles,
+            );
+        }
+    }
+
+    fn arm_unblock(&mut self, tbe: &mut Tbe, addr: LineAddr, ctx: &mut Ctx<'_>) {
+        if !self.ft {
+            return;
+        }
+        self.gen_counter += 1;
+        tbe.unblock_gen = self.gen_counter;
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostUnblock,
+            tbe.unblock_gen,
+            ctx.config.ft.lost_unblock_timeout,
+        );
+    }
+
+    fn service_put(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr;
+        let requester_tile = msg.src.index();
+        let is_owner = self
+            .cache
+            .get(addr)
+            .is_some_and(|l| l.owner == Some(requester_tile));
+        if !is_owner {
+            // Stale Put: ownership already moved (raced with a forward).
+            let mut wback = Message::new(MsgType::WbAck, addr, self.me, msg.src).serial(msg.serial);
+            wback.wb_stale = true;
+            ctx.send(wback, ctx.config.l2_tag_cycles);
+            return;
+        }
+        let mut tbe = Tbe::new(TbeKind::Wb, msg.src, msg.serial);
+        tbe.stage = Stage::WaitWbData;
+        self.arm_unblock(&mut tbe, addr, ctx);
+        self.tbes.insert(addr, tbe);
+        let mut wback = Message::new(MsgType::WbAck, addr, self.me, msg.src).serial(msg.serial);
+        wback.wb_wants_data = true;
+        ctx.send(wback, ctx.config.l2_tag_cycles);
+    }
+
+    // ------------------------------------------------------------------
+    // Unblocks and writeback data
+    // ------------------------------------------------------------------
+
+    fn on_unblock(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr;
+        let stale = match self.tbes.get(&addr) {
+            None => true,
+            Some(tbe) => {
+                tbe.stage != Stage::WaitUnblock
+                    || tbe.blocker != msg.src
+                    || (self.ft && tbe.serial != msg.serial)
+            }
+        };
+        let wrong_kind = matches!(
+            self.tbes.get(&addr).map(|t| t.kind),
+            Some(TbeKind::Miss { store: true })
+        ) && msg.mtype == MsgType::Unblock;
+        if stale || wrong_kind {
+            // A duplicate/stale unblock; still answer a piggybacked AckO so
+            // the sender's blocked-ownership state can always drain (§3.4
+            // idempotence). A plain Unblock can also never complete a GetX
+            // transaction (it would record a sharer where an owner is
+            // required) — only a crossing stale ping-reply can produce one.
+            if msg.piggy_acko {
+                ctx.send(
+                    Message::new(MsgType::AckBD, addr, self.me, msg.src).serial(msg.serial),
+                    ctx.config.l2_tag_cycles,
+                );
+            }
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        let tbe = self.tbes.remove(&addr).expect("checked above");
+        let requester_tile = msg.src.index();
+
+        // Update the directory.
+        {
+            let line = self
+                .cache
+                .get_mut(addr)
+                .expect("unblocked line must be resident");
+            if msg.mtype == MsgType::UnblockEx {
+                line.owner = Some(requester_tile);
+                line.sharers.clear();
+                // Any bank copy is now stale (or was handed over).
+                line.data = None;
+                line.dirty = false;
+            } else {
+                line.sharers.insert(requester_tile);
+            }
+        }
+
+        // FT: L1-facing ownership handshake (AckO piggybacked, §3.1).
+        if self.ft && msg.piggy_acko {
+            ctx.send(
+                Message::new(MsgType::AckBD, addr, self.me, msg.src).serial(msg.serial),
+                ctx.config.l2_tag_cycles,
+            );
+            if tbe.sent_data_backup {
+                ctx.checker.backup_deleted(self.me, addr, ctx.now);
+            }
+        }
+
+        // FT §3.1.1: the fill's memory-facing handshake starts now.
+        if tbe.from_mem {
+            let mem = self.mem_of(addr, ctx.config);
+            if self.ft {
+                let gen = self.next_gen();
+                self.ext_pending.insert(
+                    addr,
+                    ExtPending {
+                        serial: tbe.own_serial,
+                        retries: 0,
+                        gen,
+                    },
+                );
+                if let Some(line) = self.cache.get_mut(addr) {
+                    line.ext_blocked = true;
+                }
+                ctx.send(
+                    Message::new(MsgType::UnblockEx, addr, self.me, mem)
+                        .serial(tbe.own_serial)
+                        .with_acko(),
+                    ctx.config.l2_tag_cycles,
+                );
+                ctx.arm_timeout(
+                    self.me,
+                    addr,
+                    TimeoutKind::LostAckBd,
+                    gen,
+                    ctx.config.ft.lost_ackbd_timeout,
+                );
+            }
+            // (DirCMP sends its unblock to memory as soon as the data
+            // arrives; see on_data.)
+        }
+
+        self.pump_waiting(addr, ctx);
+    }
+
+    fn on_wb_data(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr;
+        let Some(tbe) = self.tbes.get(&addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if tbe.kind != TbeKind::Wb
+            || tbe.stage != Stage::WaitWbData
+            || tbe.blocker != msg.src
+            || (self.ft && tbe.serial != msg.serial)
+        {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        let mut tbe = self.tbes.remove(&addr).expect("checked above");
+
+        match msg.mtype {
+            MsgType::WbData => {
+                {
+                    let line = self
+                        .cache
+                        .get_mut(addr)
+                        .expect("writeback line must be resident");
+                    line.data = Some(msg.data.expect("WbData carries data"));
+                    line.dirty = msg.data_dirty || line.dirty;
+                    line.owner = None;
+                }
+                if self.ft {
+                    // The bank is the new owner: acknowledge ownership and
+                    // stay blocked until the backup is deleted (§3.1).
+                    tbe.stage = Stage::WaitWbAckBd;
+                    tbe.acko_serial = msg.serial;
+                    self.gen_counter += 1;
+                    tbe.ackbd_gen = self.gen_counter;
+                    let gen = tbe.ackbd_gen;
+                    ctx.send(
+                        Message::new(MsgType::AckO, addr, self.me, msg.src).serial(msg.serial),
+                        ctx.config.l2_tag_cycles,
+                    );
+                    ctx.arm_timeout(
+                        self.me,
+                        addr,
+                        TimeoutKind::LostAckBd,
+                        gen,
+                        ctx.config.ft.lost_ackbd_timeout,
+                    );
+                    self.tbes.insert(addr, tbe);
+                    return;
+                }
+            }
+            MsgType::WbNoData | MsgType::WbCancel => {
+                let remove = {
+                    let line = self
+                        .cache
+                        .get_mut(addr)
+                        .expect("writeback line must be resident");
+                    line.owner = None;
+                    line.data.is_none() && line.sharers.is_empty()
+                };
+                if remove {
+                    // Clean line with no copies anywhere on chip: memory is
+                    // the owner again.
+                    self.cache.remove(addr);
+                }
+            }
+            _ => unreachable!(),
+        }
+        self.pump_waiting(addr, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-facing handlers
+    // ------------------------------------------------------------------
+
+    fn on_data(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // DataEx from memory (fill) or from an L1 owner (recall).
+        let addr = msg.addr;
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            ctx.stats.stale_discards.incr();
+            ctx.stats.false_positives.incr();
+            return;
+        };
+        match tbe.stage {
+            Stage::WaitMem => {
+                if self.ft && tbe.own_serial != msg.serial {
+                    ctx.stats.stale_discards.incr();
+                    return;
+                }
+                let data = msg.data.expect("memory fill carries data");
+                tbe.stage = Stage::WaitUnblock;
+                tbe.from_mem = true;
+                tbe.sent_data_backup = true;
+                tbe.data = Some(data);
+                let serial = tbe.serial;
+                let blocker = tbe.blocker;
+                let resp = Resp::DataEx {
+                    data: Some(data),
+                    dirty: false,
+                    acks: 0,
+                };
+                tbe.resp = Some(resp.clone());
+                // Install the line (may evict a victim).
+                self.install_line(addr, data, ctx);
+                // §3.1.1: answer the L1 immediately, keeping a backup.
+                self.send_resp(addr, blocker, serial, resp, ctx);
+                if self.ft {
+                    ctx.checker.backup_created(self.me, addr, ctx.now);
+                } else {
+                    // DirCMP: unblock memory right away.
+                    let mem = self.mem_of(addr, ctx.config);
+                    ctx.send(
+                        Message::new(MsgType::UnblockEx, addr, self.me, mem).serial(msg.serial),
+                        ctx.config.l2_tag_cycles,
+                    );
+                }
+                let mut tbe = self.tbes.remove(&addr).expect("still present");
+                self.arm_unblock(&mut tbe, addr, ctx);
+                self.tbes.insert(addr, tbe);
+            }
+            Stage::WaitRecall => {
+                if self.ft && tbe.own_serial != msg.serial {
+                    ctx.stats.stale_discards.incr();
+                    return;
+                }
+                tbe.data = msg.data;
+                tbe.data_dirty = msg.data_dirty;
+                tbe.recall_needs_data = false;
+                if self.ft {
+                    // Acknowledge ownership to the old owner; wait for the
+                    // backup deletion before moving the data off-chip.
+                    tbe.acko_serial = msg.serial;
+                    self.gen_counter += 1;
+                    tbe.ackbd_gen = self.gen_counter;
+                    let gen = tbe.ackbd_gen;
+                    ctx.send(
+                        Message::new(MsgType::AckO, addr, self.me, msg.src).serial(msg.serial),
+                        ctx.config.l2_tag_cycles,
+                    );
+                    ctx.arm_timeout(
+                        self.me,
+                        addr,
+                        TimeoutKind::LostAckBd,
+                        gen,
+                        ctx.config.ft.lost_ackbd_timeout,
+                    );
+                    tbe.stage = Stage::WaitRecallAckBd;
+                    return;
+                }
+                self.try_finish_recall(addr, ctx);
+            }
+            _ => {
+                ctx.stats.stale_discards.incr();
+            }
+        }
+    }
+
+    fn on_ack(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // Invalidation acks for a recall (the bank is the requester).
+        let addr = msg.addr;
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if !matches!(tbe.stage, Stage::WaitRecall | Stage::WaitRecallAckBd)
+            || (self.ft && tbe.own_serial != msg.serial)
+        {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        // Set-based removal: duplicate acks (possible after Inv resends) are
+        // no-ops.
+        tbe.recall_acks.remove(msg.src.index());
+        if tbe.stage == Stage::WaitRecall {
+            self.try_finish_recall(addr, ctx);
+        }
+    }
+
+    fn on_mem_wback(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // WbAck from memory for a bank eviction.
+        let addr = msg.addr;
+        let Some(tbe) = self.tbes.get(&addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if tbe.stage != Stage::WaitMemWbAck || (self.ft && tbe.own_serial != msg.serial) {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        let tbe = self.tbes.remove(&addr).expect("checked above");
+        if msg.wb_stale {
+            // Memory does not consider us the owner; drop the eviction.
+            self.pump_waiting(addr, ctx);
+            return;
+        }
+        let data = tbe.data.expect("bank eviction holds data");
+        ctx.send(
+            Message::new(MsgType::WbData, addr, self.me, msg.src)
+                .serial(msg.serial)
+                .data(data)
+                .dirty(true),
+            ctx.config.l2_tag_cycles,
+        );
+        if self.ft {
+            let gen = self.next_gen();
+            self.mem_backups.insert(
+                addr,
+                MemBackup {
+                    data,
+                    serial: msg.serial,
+                    retries: 0,
+                    gen,
+                },
+            );
+            ctx.checker.backup_created(self.me, addr, ctx.now);
+            ctx.arm_timeout(
+                self.me,
+                addr,
+                TimeoutKind::LostData,
+                gen,
+                ctx.config.ft.lost_data_timeout,
+            );
+        }
+        self.pump_waiting(addr, ctx);
+    }
+
+    fn on_acko(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr;
+        if msg.src.is_mem() {
+            // Memory acknowledges our WbData: delete the backup.
+            if self.mem_backups.remove(&addr).is_some() {
+                ctx.checker.backup_deleted(self.me, addr, ctx.now);
+            }
+            ctx.send(
+                Message::new(MsgType::AckBD, addr, self.me, msg.src).serial(msg.serial),
+                ctx.config.l2_tag_cycles,
+            );
+            return;
+        }
+        // Standalone AckO from an L1 (its UnblockEx with the piggyback was
+        // lost, or a reissued AckO): delete our grant backup and reply.
+        if let Some(tbe) = self.tbes.get(&addr) {
+            if tbe.sent_data_backup && tbe.blocker == msg.src {
+                ctx.checker.backup_deleted(self.me, addr, ctx.now);
+            }
+        }
+        ctx.send(
+            Message::new(MsgType::AckBD, addr, self.me, msg.src).serial(msg.serial),
+            ctx.config.l2_tag_cycles,
+        );
+    }
+
+    fn on_ackbd(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr;
+        if msg.src.is_mem() {
+            // Memory-facing §3.1.1 handshake complete.
+            if let Some(p) = self.ext_pending.get(&addr) {
+                if p.serial == msg.serial || !self.ft {
+                    self.ext_pending.remove(&addr);
+                    if let Some(line) = self.cache.get_mut(addr) {
+                        line.ext_blocked = false;
+                    }
+                }
+            }
+            return;
+        }
+        // AckBD from an L1: completes a writeback or recall handshake.
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if tbe.acko_serial != msg.serial {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        match tbe.stage {
+            Stage::WaitWbAckBd => {
+                self.tbes.remove(&addr);
+                self.pump_waiting(addr, ctx);
+            }
+            Stage::WaitRecallAckBd => {
+                let tbe = self.tbes.get_mut(&addr).expect("present");
+                tbe.ackbd_gen = 0; // handshake done
+                tbe.stage = Stage::WaitRecall;
+                tbe.recall_needs_data = false;
+                self.try_finish_recall(addr, ctx);
+            }
+            _ => {
+                ctx.stats.stale_discards.incr();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fills, evictions and recalls
+    // ------------------------------------------------------------------
+
+    fn install_line(&mut self, addr: LineAddr, data: LineData, ctx: &mut Ctx<'_>) {
+        let mut line = L2Line::fresh();
+        line.data = Some(data);
+        let tbes = &self.tbes;
+        let ext = &self.ext_pending;
+        let outcome = self.cache.insert(addr, line, |a, l| {
+            !l.ext_blocked && !tbes.contains_key(&a) && !ext.contains_key(&a)
+        });
+        if let Some((vaddr, vline)) = outcome.evicted {
+            self.dispose_victim(vaddr, vline, ctx);
+        }
+    }
+
+    fn dispose_victim(&mut self, vaddr: LineAddr, vline: L2Line, ctx: &mut Ctx<'_>) {
+        if vline.owner.is_some() || !vline.sharers.is_empty() {
+            self.start_recall(vaddr, vline, ctx);
+        } else if vline.dirty {
+            let data = vline.data.expect("dirty line holds data");
+            self.start_mem_writeback(vaddr, data, ctx);
+        }
+        // Clean, uncached-above victim: silent drop (memory copy is valid).
+    }
+
+    fn start_recall(&mut self, vaddr: LineAddr, vline: L2Line, ctx: &mut Ctx<'_>) {
+        ctx.stats.recalls.incr();
+        let mut tbe = Tbe::new(TbeKind::Recall, self.me, SerialNum::ZERO);
+        tbe.own_serial = self.fresh_serial();
+        tbe.serial = tbe.own_serial;
+        tbe.stage = Stage::WaitRecall;
+        tbe.data = vline.data;
+        tbe.data_dirty = vline.dirty;
+        let own_serial = tbe.own_serial;
+        let sharers: Vec<u8> = vline.sharers.iter().collect();
+        tbe.recall_acks = vline.sharers;
+        if let Some(owner) = vline.owner {
+            tbe.recall_needs_data = true;
+            tbe.fwd_to = Some(owner);
+            ctx.send(
+                Message::new(MsgType::FwdGetX, vaddr, self.me, NodeId::L1(owner))
+                    .requester(self.me)
+                    .serial(own_serial)
+                    .acks(0),
+                ctx.config.l2_tag_cycles,
+            );
+        }
+        for t in &sharers {
+            ctx.send(
+                Message::new(MsgType::Inv, vaddr, self.me, NodeId::L1(*t))
+                    .requester(self.me)
+                    .serial(own_serial),
+                ctx.config.l2_tag_cycles,
+            );
+        }
+        if self.ft {
+            self.gen_counter += 1;
+            tbe.unblock_gen = self.gen_counter;
+            let gen = tbe.unblock_gen;
+            ctx.arm_timeout(
+                self.me,
+                vaddr,
+                TimeoutKind::LostUnblock,
+                gen,
+                ctx.config.ft.lost_unblock_timeout,
+            );
+        }
+        self.tbes.insert(vaddr, tbe);
+    }
+
+    fn try_finish_recall(&mut self, addr: LineAddr, ctx: &mut Ctx<'_>) {
+        let Some(tbe) = self.tbes.get(&addr) else {
+            return;
+        };
+        if tbe.stage != Stage::WaitRecall || tbe.recall_needs_data || !tbe.recall_acks.is_empty() {
+            return;
+        }
+        let tbe = self.tbes.remove(&addr).expect("checked above");
+        if tbe.data_dirty {
+            let data = tbe.data.expect("dirty recall holds data");
+            self.start_mem_writeback(addr, data, ctx);
+        } else {
+            self.pump_waiting(addr, ctx);
+        }
+    }
+
+    fn start_mem_writeback(&mut self, addr: LineAddr, data: LineData, ctx: &mut Ctx<'_>) {
+        ctx.stats.l2_writebacks.incr();
+        let mut tbe = Tbe::new(TbeKind::L2Evict, self.me, SerialNum::ZERO);
+        tbe.stage = Stage::WaitMemWbAck;
+        tbe.own_serial = self.fresh_serial();
+        tbe.serial = tbe.own_serial;
+        tbe.data = Some(data);
+        tbe.data_dirty = true;
+        let own_serial = tbe.own_serial;
+        if self.ft {
+            tbe.req_gen = self.next_gen();
+            let gen = tbe.req_gen;
+            ctx.arm_timeout(
+                self.me,
+                addr,
+                TimeoutKind::LostRequest,
+                gen,
+                ctx.config.ft.lost_request_timeout,
+            );
+        }
+        self.tbes.insert(addr, tbe);
+        let mem = self.mem_of(addr, ctx.config);
+        ctx.send(
+            Message::new(MsgType::Put, addr, self.me, mem).serial(own_serial),
+            ctx.config.l2_tag_cycles,
+        );
+    }
+
+    /// After a transaction completes, service deferred requests for the
+    /// line until one blocks it again (or the queue drains).
+    fn pump_waiting(&mut self, addr: LineAddr, ctx: &mut Ctx<'_>) {
+        loop {
+            if self.tbes.contains_key(&addr) {
+                return;
+            }
+            let Some(q) = self.waiting.get_mut(&addr) else {
+                return;
+            };
+            let Some(msg) = q.pop_front() else {
+                self.waiting.remove(&addr);
+                return;
+            };
+            if q.is_empty() {
+                self.waiting.remove(&addr);
+            }
+            self.service_request(msg, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-recovery handlers (FtDirCMP only)
+    // ------------------------------------------------------------------
+
+    fn on_unblock_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // From memory: "is your fill still in progress?"
+        let addr = msg.addr;
+        if let Some(tbe) = self.tbes.get(&addr) {
+            if tbe.stage == Stage::WaitMem {
+                return; // fill unresolved: nothing was lost (§3.3)
+            }
+        }
+        if let Some(p) = self.ext_pending.get(&addr) {
+            let serial = p.serial;
+            ctx.send(
+                Message::new(MsgType::UnblockEx, addr, self.me, msg.src)
+                    .serial(serial)
+                    .with_acko(),
+                ctx.config.l2_tag_cycles,
+            );
+            return;
+        }
+        // Handshake fully complete (or never ours): answer idempotently.
+        ctx.send(
+            Message::new(MsgType::UnblockEx, addr, self.me, msg.src)
+                .serial(msg.serial)
+                .with_acko(),
+            ctx.config.l2_tag_cycles,
+        );
+    }
+
+    fn on_wb_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr;
+        if let Some(tbe) = self.tbes.get(&addr) {
+            if tbe.stage == Stage::WaitMemWbAck {
+                // Our Put is in flight and memory answered it (the WbAck was
+                // lost): the ping substitutes for the WbAck.
+                let mut as_wback =
+                    Message::new(MsgType::WbAck, addr, msg.src, self.me).serial(tbe.own_serial);
+                as_wback.wb_wants_data = true;
+                self.on_mem_wback(as_wback, ctx);
+                return;
+            }
+        }
+        if let Some(b) = self.mem_backups.get_mut(&addr) {
+            b.serial = msg.serial;
+            let data = b.data;
+            ctx.send(
+                Message::new(MsgType::WbData, addr, self.me, msg.src)
+                    .serial(msg.serial)
+                    .data(data)
+                    .dirty(true),
+                ctx.config.l2_tag_cycles,
+            );
+            return;
+        }
+        ctx.send(
+            Message::new(MsgType::WbCancel, addr, self.me, msg.src).serial(msg.serial),
+            ctx.config.l2_tag_cycles,
+        );
+    }
+
+    fn on_ownership_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // An L1 holding a writeback backup asks whether we received its
+        // WbData.
+        let addr = msg.addr;
+        let still_waiting = self
+            .tbes
+            .get(&addr)
+            .is_some_and(|t| t.kind == TbeKind::Wb && t.stage == Stage::WaitWbData);
+        let reply = if still_waiting {
+            MsgType::NackO
+        } else {
+            MsgType::AckO
+        };
+        ctx.send(
+            Message::new(reply, addr, self.me, msg.src).serial(msg.serial),
+            ctx.config.l2_tag_cycles,
+        );
+    }
+
+    fn on_nacko(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // Memory never received our WbData: resend it from the backup.
+        let Some(b) = self.mem_backups.get(&msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if b.serial != msg.serial {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        let data = b.data;
+        ctx.send(
+            Message::new(MsgType::WbData, msg.addr, self.me, msg.src)
+                .serial(msg.serial)
+                .data(data)
+                .dirty(true),
+            ctx.config.l2_tag_cycles,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Timeout handlers
+    // ------------------------------------------------------------------
+
+    fn on_lost_unblock(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            return;
+        };
+        if tbe.unblock_gen != gen {
+            return;
+        }
+        ctx.stats.record_timeout(TimeoutKind::LostUnblock);
+        self.gen_counter += 1;
+        tbe.unblock_gen = self.gen_counter;
+        tbe.unblock_retries += 1;
+        let new_gen = tbe.unblock_gen;
+        let retries = tbe.unblock_retries;
+        let blocker = tbe.blocker;
+        let serial = tbe.serial;
+        let stage = tbe.stage;
+        let tbe_kind = tbe.kind;
+        match stage {
+            Stage::WaitUnblock => {
+                let mut ping =
+                    Message::new(MsgType::UnblockPing, addr, self.me, blocker).serial(serial);
+                ping.ping_for_store = matches!(tbe_kind, TbeKind::Miss { store: true });
+                ctx.send(ping, ctx.config.l2_tag_cycles);
+            }
+            Stage::WaitWbData => {
+                let mut ping = Message::new(MsgType::WbPing, addr, self.me, blocker).serial(serial);
+                ping.wb_wants_data = true;
+                ctx.send(ping, ctx.config.l2_tag_cycles);
+            }
+            Stage::WaitRecall | Stage::WaitRecallAckBd => {
+                // Re-prod the recall participants: the owner if its data is
+                // still outstanding, and every sharer whose ack is missing
+                // (re-invalidation is idempotent; duplicate acks are no-ops
+                // thanks to set-based tracking).
+                let own_serial = tbe.own_serial;
+                let fwd_to = tbe.fwd_to;
+                let needs_data = tbe.recall_needs_data;
+                let remaining = tbe.recall_acks;
+                if needs_data && stage == Stage::WaitRecall {
+                    if let Some(owner) = fwd_to {
+                        ctx.send(
+                            Message::new(MsgType::FwdGetX, addr, self.me, NodeId::L1(owner))
+                                .requester(self.me)
+                                .serial(own_serial)
+                                .acks(0),
+                            ctx.config.l2_tag_cycles,
+                        );
+                    }
+                }
+                for t in remaining.iter() {
+                    ctx.send(
+                        Message::new(MsgType::Inv, addr, self.me, NodeId::L1(t))
+                            .requester(self.me)
+                            .serial(own_serial),
+                        ctx.config.l2_tag_cycles,
+                    );
+                }
+            }
+            _ => {}
+        }
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostUnblock,
+            new_gen,
+            backoff_delay(ctx.config.ft.lost_unblock_timeout, retries),
+        );
+    }
+
+    fn on_lost_request(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        // Reissue serials come from the allocator stream (see the L1-side
+        // comment: avoids cross-transaction serial collisions).
+        let fresh = self.serials.fresh();
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            return;
+        };
+        if tbe.req_gen != gen {
+            return;
+        }
+        ctx.stats.record_timeout(TimeoutKind::LostRequest);
+        ctx.stats.reissues.incr();
+        tbe.own_serial = fresh;
+        tbe.req_retries += 1;
+        self.gen_counter += 1;
+        tbe.req_gen = self.gen_counter;
+        let new_gen = tbe.req_gen;
+        let retries = tbe.req_retries;
+        let own_serial = tbe.own_serial;
+        let stage = tbe.stage;
+        let mem = self.mem_of(addr, ctx.config);
+        match stage {
+            Stage::WaitMem => {
+                ctx.send(
+                    Message::new(MsgType::GetX, addr, self.me, mem).serial(own_serial),
+                    ctx.config.l2_tag_cycles,
+                );
+            }
+            Stage::WaitMemWbAck => {
+                ctx.send(
+                    Message::new(MsgType::Put, addr, self.me, mem).serial(own_serial),
+                    ctx.config.l2_tag_cycles,
+                );
+            }
+            _ => return,
+        }
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostRequest,
+            new_gen,
+            backoff_delay(ctx.config.ft.lost_request_timeout, retries),
+        );
+    }
+
+    fn on_lost_ackbd(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        let fresh = self.serials.fresh();
+        if let Some(tbe) = self.tbes.get_mut(&addr) {
+            if tbe.ackbd_gen == gen
+                && matches!(tbe.stage, Stage::WaitWbAckBd | Stage::WaitRecallAckBd)
+            {
+                ctx.stats.record_timeout(TimeoutKind::LostAckBd);
+                tbe.acko_serial = fresh;
+                tbe.ackbd_retries += 1;
+                self.gen_counter += 1;
+                tbe.ackbd_gen = self.gen_counter;
+                let new_gen = tbe.ackbd_gen;
+                let retries = tbe.ackbd_retries;
+                let serial = tbe.acko_serial;
+                let peer = if tbe.stage == Stage::WaitWbAckBd {
+                    tbe.blocker
+                } else {
+                    NodeId::L1(tbe.fwd_to.expect("recall has an owner"))
+                };
+                ctx.send(
+                    Message::new(MsgType::AckO, addr, self.me, peer).serial(serial),
+                    ctx.config.l2_tag_cycles,
+                );
+                ctx.arm_timeout(
+                    self.me,
+                    addr,
+                    TimeoutKind::LostAckBd,
+                    new_gen,
+                    backoff_delay(ctx.config.ft.lost_ackbd_timeout, retries),
+                );
+                return;
+            }
+        }
+        if let Some(p) = self.ext_pending.get_mut(&addr) {
+            if p.gen != gen {
+                return;
+            }
+            ctx.stats.record_timeout(TimeoutKind::LostAckBd);
+            p.retries += 1;
+            self.gen_counter += 1;
+            p.gen = self.gen_counter;
+            let new_gen = p.gen;
+            let retries = p.retries;
+            // Resend with the same serial: memory matches its TBE by it.
+            let serial = p.serial;
+            let mem = self.mem_of(addr, ctx.config);
+            ctx.send(
+                Message::new(MsgType::UnblockEx, addr, self.me, mem)
+                    .serial(serial)
+                    .with_acko(),
+                ctx.config.l2_tag_cycles,
+            );
+            ctx.arm_timeout(
+                self.me,
+                addr,
+                TimeoutKind::LostAckBd,
+                new_gen,
+                backoff_delay(ctx.config.ft.lost_ackbd_timeout, retries),
+            );
+        }
+    }
+
+    fn on_lost_data(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        let Some(b) = self.mem_backups.get_mut(&addr) else {
+            return;
+        };
+        if b.gen != gen {
+            return;
+        }
+        ctx.stats.record_timeout(TimeoutKind::LostData);
+        b.retries += 1;
+        self.gen_counter += 1;
+        b.gen = self.gen_counter;
+        let (serial, new_gen, retries) = (b.serial, b.gen, b.retries);
+        let mem = self.mem_of(addr, ctx.config);
+        ctx.send(
+            Message::new(MsgType::OwnershipPing, addr, self.me, mem).serial(serial),
+            ctx.config.l2_tag_cycles,
+        );
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostData,
+            new_gen,
+            backoff_delay(ctx.config.ft.lost_data_timeout, retries),
+        );
+    }
+}
+
+#[cfg(test)]
+#[path = "l2_tests.rs"]
+mod tests;

@@ -1,0 +1,949 @@
+//! Unit tests for the L2 bank controller (home directory) in isolation.
+
+use crate::data::LineData;
+use crate::ids::{LineAddr, NodeId};
+use crate::l2::L2Controller;
+use crate::msg::{Message, MsgType};
+use crate::proto::TimeoutKind;
+use crate::serial::SerialNum;
+use crate::testharness::Harness;
+
+/// Bank 3 is home for line 3 (+ multiples of 16).
+const ME: NodeId = NodeId::L2(3);
+const L: LineAddr = LineAddr(3);
+/// Line 3 is served by memory controller 3 % 4 = 3.
+const MEM: NodeId = NodeId::Mem(3);
+
+fn l2(h: &Harness) -> L2Controller {
+    let mut rng = h.rng();
+    L2Controller::new(3, &h.config, &mut rng)
+}
+
+fn gets(src: u8, serial: u16) -> Message {
+    Message::new(MsgType::GetS, L, NodeId::L1(src), ME).serial(SerialNum::new(serial, 8))
+}
+
+fn getx(src: u8, serial: u16) -> Message {
+    Message::new(MsgType::GetX, L, NodeId::L1(src), ME).serial(SerialNum::new(serial, 8))
+}
+
+/// Drives the bank through a full fill: L1 `src` requests, memory answers,
+/// the L1 unblocks exclusively. Leaves the directory with owner = src.
+fn fill_via_memory(c: &mut L2Controller, h: &mut Harness, src: u8, serial: u16) {
+    c.handle_message(getx(src, serial), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    assert_eq!(mem_req.dst, MEM);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    let grant = h.sent_one(MsgType::DataEx);
+    assert_eq!(grant.dst, NodeId::L1(src));
+    h.clear();
+    let mut unblock =
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(src), ME).serial(SerialNum::new(serial, 8));
+    if h.config.protocol.is_fault_tolerant() {
+        unblock = unblock.with_acko();
+    }
+    c.handle_message(unblock, &mut h.ctx());
+    if h.config.protocol.is_fault_tolerant() {
+        // Memory-side §3.1.1 handshake completes with memory's AckBD.
+        let to_mem = h.sent_one(MsgType::UnblockEx);
+        assert_eq!(to_mem.dst, MEM);
+        assert!(to_mem.piggy_acko);
+        c.handle_message(
+            Message::new(MsgType::AckBD, L, MEM, ME).serial(to_mem.serial),
+            &mut h.ctx(),
+        );
+    }
+    h.clear();
+}
+
+// ---------------------------------------------------------------------
+// Fills and local grants
+// ---------------------------------------------------------------------
+
+#[test]
+fn miss_fills_from_memory_and_answers_the_l1_immediately() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 10), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    assert_eq!(mem_req.dst, MEM);
+    assert!(
+        h.armed(ME, TimeoutKind::LostRequest).is_some(),
+        "bank's own timer"
+    );
+    assert_eq!(h.stats.l2_misses.get(), 1);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    // §3.1.1 relaxation: data goes straight to the L1, no memory handshake
+    // on the critical path; DirCMP-identical latency.
+    let grant = h.sent_one(MsgType::DataEx);
+    assert_eq!(grant.dst, NodeId::L1(5));
+    assert_eq!(grant.serial, SerialNum::new(10, 8));
+    h.sent_none(MsgType::UnblockEx); // not yet (FT defers it to the AckO)
+}
+
+#[test]
+fn dircmp_fill_unblocks_memory_immediately() {
+    let mut h = Harness::dircmp();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 0), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    assert_eq!(h.sent_one(MsgType::UnblockEx).dst, MEM);
+    h.sent_one(MsgType::DataEx);
+}
+
+#[test]
+fn resident_line_grants_exclusive_clean_to_sole_reader() {
+    // GetS to a line with no sharers is granted exclusively (E), which is
+    // an ownership transfer and runs the handshake.
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    // Owner 5 writes back so the bank holds the data again.
+    writeback(&mut c, &mut h, 5, 20);
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    let grant = h.sent_one(MsgType::DataEx);
+    assert_eq!(grant.dst, NodeId::L1(6));
+    assert!(grant.data_dirty, "bank data was dirty; E would lose it");
+    assert_eq!(h.stats.l2_hits.get(), 1);
+}
+
+/// Runs a three-phase writeback from L1 `src` (must be the current owner).
+fn writeback(c: &mut L2Controller, h: &mut Harness, src: u8, serial: u16) {
+    let sn = SerialNum::new(serial, 8);
+    c.handle_message(
+        Message::new(MsgType::Put, L, NodeId::L1(src), ME).serial(sn),
+        &mut h.ctx(),
+    );
+    let wback = h.sent_one(MsgType::WbAck);
+    assert!(wback.wb_wants_data && !wback.wb_stale);
+    h.clear();
+    let mut dirty = LineData::pristine();
+    dirty.write(NodeId::L1(src));
+    c.handle_message(
+        Message::new(MsgType::WbData, L, NodeId::L1(src), ME)
+            .serial(sn)
+            .data(dirty)
+            .dirty(true),
+        &mut h.ctx(),
+    );
+    if h.config.protocol.is_fault_tolerant() {
+        // The bank is the new owner: AckO out, blocked until AckBD.
+        let acko = h.sent_one(MsgType::AckO);
+        assert_eq!(acko.dst, NodeId::L1(src));
+        c.handle_message(
+            Message::new(MsgType::AckBD, L, NodeId::L1(src), ME).serial(acko.serial),
+            &mut h.ctx(),
+        );
+    }
+    h.clear();
+}
+
+#[test]
+fn shared_grant_when_sharers_exist() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    // First reader gets E; it unblocks exclusively.
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(6), ME)
+            .serial(SerialNum::new(30, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    h.clear();
+    // Second reader: the owner is L1-6 now → FwdGetS.
+    c.handle_message(gets(7, 40), &mut h.ctx());
+    let fwd = h.sent_one(MsgType::FwdGetS);
+    assert_eq!(fwd.dst, NodeId::L1(6));
+    assert_eq!(fwd.requester, NodeId::L1(7));
+    h.clear();
+    // Requester unblocks (sharer); owner unchanged.
+    c.handle_message(
+        Message::new(MsgType::Unblock, L, NodeId::L1(7), ME).serial(SerialNum::new(40, 8)),
+        &mut h.ctx(),
+    );
+    // Third reader: still owner L1-6 → forward again (sharers now {7}).
+    c.handle_message(gets(8, 50), &mut h.ctx());
+    assert_eq!(h.sent_one(MsgType::FwdGetS).dst, NodeId::L1(6));
+}
+
+#[test]
+fn getx_forwards_to_owner_and_invalidates_sharers() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    // Add a sharer via forward + unblock.
+    c.handle_message(gets(6, 20), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::Unblock, L, NodeId::L1(6), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    // L1-7 wants to write: forward to owner 5, Inv to sharer 6.
+    c.handle_message(getx(7, 30), &mut h.ctx());
+    let fwd = h.sent_one(MsgType::FwdGetX);
+    assert_eq!(fwd.dst, NodeId::L1(5));
+    assert_eq!(fwd.ack_count, 1, "one sharer to invalidate");
+    let inv = h.sent_one(MsgType::Inv);
+    assert_eq!(inv.dst, NodeId::L1(6));
+    assert_eq!(inv.requester, NodeId::L1(7), "acks go to the requester");
+}
+
+#[test]
+fn owner_upgrade_gets_permission_without_data() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    // L1-6 reads (E grant), then is downgraded by L1-7's read, leaving
+    // owner=6 sharers={7}; then 6 upgrades.
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(6), ME)
+            .serial(SerialNum::new(30, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(gets(7, 40), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::Unblock, L, NodeId::L1(7), ME).serial(SerialNum::new(40, 8)),
+        &mut h.ctx(),
+    );
+    h.clear();
+    // Owner 6 upgrades: DataEx without data + Inv to 7.
+    c.handle_message(getx(6, 50), &mut h.ctx());
+    let grant = h.sent_one(MsgType::DataEx);
+    assert_eq!(grant.dst, NodeId::L1(6));
+    assert!(grant.data.is_none(), "owner already has the data");
+    assert_eq!(grant.ack_count, 1);
+    assert_eq!(h.sent_one(MsgType::Inv).dst, NodeId::L1(7));
+}
+
+// ---------------------------------------------------------------------
+// Serialization, queuing, reissues
+// ---------------------------------------------------------------------
+
+#[test]
+fn requests_to_a_busy_line_are_deferred_in_order() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 10), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    // Two more requests while the fill is outstanding.
+    c.handle_message(gets(6, 20), &mut h.ctx());
+    c.handle_message(getx(7, 30), &mut h.ctx());
+    assert!(h.out.is_empty(), "busy line: nothing serviced");
+    assert_eq!(h.stats.deferred_requests.get(), 2);
+    // Complete the fill + unblock: the queue drains in FIFO order.
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(5), ME)
+            .serial(SerialNum::new(10, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    // L1-6's GetS is serviced next: forwarded to owner 5.
+    let fwd = h.sent_one(MsgType::FwdGetS);
+    assert_eq!(fwd.requester, NodeId::L1(6));
+}
+
+#[test]
+fn reissued_request_from_blocker_repeats_the_response() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    h.sent_one(MsgType::DataEx);
+    h.clear();
+    // The grant was lost; L1-6 reissues with serial 31.
+    c.handle_message(gets(6, 31), &mut h.ctx());
+    let resent = h.sent_one(MsgType::DataEx);
+    assert_eq!(resent.serial, SerialNum::new(31, 8));
+    assert!(h.stats.false_positives.get() > 0);
+}
+
+#[test]
+fn reissued_getx_resends_forward_and_invalidations() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    c.handle_message(gets(6, 20), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::Unblock, L, NodeId::L1(6), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    c.handle_message(getx(7, 30), &mut h.ctx());
+    h.clear();
+    // Reissue: both the forward and the Inv must be repeated (Figure 2's
+    // fix relies on re-acks with the new serial).
+    c.handle_message(getx(7, 31), &mut h.ctx());
+    let fwd = h.sent_one(MsgType::FwdGetX);
+    assert_eq!(fwd.serial, SerialNum::new(31, 8));
+    let inv = h.sent_one(MsgType::Inv);
+    assert_eq!(inv.serial, SerialNum::new(31, 8));
+}
+
+#[test]
+fn different_kind_from_blocker_is_a_new_transaction_not_a_reissue() {
+    // A GetX from the node whose GetS is still open (unblock lost) must
+    // queue, not be answered with the stale GetS response.
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    h.clear();
+    // The unblock never arrives; the same node now sends a GetX.
+    c.handle_message(getx(6, 35), &mut h.ctx());
+    h.sent_none(MsgType::DataEx);
+    assert_eq!(h.stats.deferred_requests.get(), 1);
+}
+
+#[test]
+fn plain_unblock_cannot_complete_a_getx_transaction() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    c.handle_message(getx(6, 30), &mut h.ctx());
+    h.clear();
+    // A crossed stale ping-reply: plain Unblock with the right serial.
+    c.handle_message(
+        Message::new(MsgType::Unblock, L, NodeId::L1(6), ME).serial(SerialNum::new(30, 8)),
+        &mut h.ctx(),
+    );
+    assert!(h.stats.stale_discards.get() > 0);
+    // The transaction is still open: the real UnblockEx completes it.
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(6), ME)
+            .serial(SerialNum::new(30, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    h.sent_one(MsgType::AckBD);
+}
+
+#[test]
+fn stale_put_gets_a_stale_wback() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    // A Put from a non-owner (ownership raced away).
+    c.handle_message(
+        Message::new(MsgType::Put, L, NodeId::L1(9), ME).serial(SerialNum::new(40, 8)),
+        &mut h.ctx(),
+    );
+    let wback = h.sent_one(MsgType::WbAck);
+    assert!(wback.wb_stale);
+}
+
+// ---------------------------------------------------------------------
+// FT handshakes and recovery
+// ---------------------------------------------------------------------
+
+#[test]
+fn ext_handshake_blocks_eviction_until_memorys_ackbd() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 10), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(5), ME)
+            .serial(SerialNum::new(10, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    // The bank forwards the AckO chain to memory and waits for AckBD.
+    let to_mem = h.sent_one(MsgType::UnblockEx);
+    assert!(to_mem.piggy_acko);
+    assert!(h.armed(ME, TimeoutKind::LostAckBd).is_some());
+    assert!(!c.is_idle(), "external handshake still pending");
+    c.handle_message(
+        Message::new(MsgType::AckBD, L, MEM, ME).serial(to_mem.serial),
+        &mut h.ctx(),
+    );
+    assert!(c.is_idle());
+}
+
+#[test]
+fn lost_unblock_timeout_pings_the_blocker_with_the_kind() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    c.handle_message(getx(6, 30), &mut h.ctx());
+    let t = h.armed(ME, TimeoutKind::LostUnblock).unwrap();
+    h.clear();
+    c.handle_timeout(TimeoutKind::LostUnblock, L, t.gen, &mut h.ctx());
+    let ping = h.sent_one(MsgType::UnblockPing);
+    assert_eq!(ping.dst, NodeId::L1(6));
+    assert!(ping.ping_for_store, "the open transaction is a GetX");
+    // Backoff on the re-arm.
+    let t2 = h.armed(ME, TimeoutKind::LostUnblock).unwrap();
+    assert_eq!(t2.delay, h.config.ft.lost_unblock_timeout * 2);
+}
+
+#[test]
+fn lost_wbdata_timeout_sends_wbping() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    c.handle_message(
+        Message::new(MsgType::Put, L, NodeId::L1(5), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    let t = h.armed(ME, TimeoutKind::LostUnblock).unwrap();
+    h.clear();
+    c.handle_timeout(TimeoutKind::LostUnblock, L, t.gen, &mut h.ctx());
+    let ping = h.sent_one(MsgType::WbPing);
+    assert_eq!(ping.dst, NodeId::L1(5));
+    assert!(ping.wb_wants_data);
+}
+
+#[test]
+fn wbcancel_closes_the_writeback_transaction() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    c.handle_message(
+        Message::new(MsgType::Put, L, NodeId::L1(5), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::WbCancel, L, NodeId::L1(5), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    assert!(c.is_idle(), "WbCancel must close the transaction");
+}
+
+#[test]
+fn standalone_acko_from_l1_is_answered_with_ackbd() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    h.clear();
+    // The UnblockEx+AckO was lost; the L1's lost-AckBD timer resends a
+    // standalone AckO.
+    c.handle_message(
+        Message::new(MsgType::AckO, L, NodeId::L1(6), ME).serial(SerialNum::new(31, 8)),
+        &mut h.ctx(),
+    );
+    assert_eq!(h.sent_one(MsgType::AckBD).dst, NodeId::L1(6));
+}
+
+#[test]
+fn unblock_ping_from_memory_resends_ext_handshake() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 10), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(5), ME)
+            .serial(SerialNum::new(10, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    h.clear();
+    // Memory never saw the UnblockEx; it pings.
+    let mut ping = Message::new(MsgType::UnblockPing, L, MEM, ME).serial(mem_req.serial);
+    ping.ping_for_store = true;
+    c.handle_message(ping, &mut h.ctx());
+    let resent = h.sent_one(MsgType::UnblockEx);
+    assert_eq!(resent.dst, MEM);
+    assert!(resent.piggy_acko);
+}
+
+#[test]
+fn unblock_ping_from_memory_during_fill_is_ignored() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 10), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    // The DataEx from memory was lost; memory (wrongly) pings: the fill is
+    // unresolved, so nothing must be sent — the bank's own lost-request
+    // timer recovers by reissuing the fill.
+    let mut ping = Message::new(MsgType::UnblockPing, L, MEM, ME).serial(mem_req.serial);
+    ping.ping_for_store = true;
+    c.handle_message(ping, &mut h.ctx());
+    h.sent_none(MsgType::UnblockEx);
+}
+
+#[test]
+fn fill_lost_request_timeout_reissues_to_memory() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 10), &mut h.ctx());
+    let first = h.sent_one(MsgType::GetX);
+    let t = h.armed(ME, TimeoutKind::LostRequest).unwrap();
+    h.clear();
+    c.handle_timeout(TimeoutKind::LostRequest, L, t.gen, &mut h.ctx());
+    let second = h.sent_one(MsgType::GetX);
+    assert_eq!(second.dst, MEM);
+    assert_ne!(second.serial, first.serial);
+    // The response to the *new* serial is accepted.
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(second.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    h.sent_one(MsgType::DataEx);
+}
+
+// ---------------------------------------------------------------------
+// Evictions and recalls
+// ---------------------------------------------------------------------
+
+/// Fills `n` distinct lines of the same L2 set via memory fills and
+/// writebacks, leaving them bank-owned and dirty.
+fn fill_bank_owned_lines(c: &mut L2Controller, h: &mut Harness, n: u64) -> Vec<LineAddr> {
+    let sets = h.config.l2_sets();
+    let mut lines = Vec::new();
+    for i in 0..n {
+        let addr = LineAddr(3 + i * sets * 16); // same set, all homed at bank 3
+        fill_line(c, h, addr, 5, (10 + i * 10) as u16);
+        writeback_line(c, h, addr, 5, (15 + i * 10) as u16);
+        lines.push(addr);
+    }
+    lines
+}
+
+fn fill_line(c: &mut L2Controller, h: &mut Harness, addr: LineAddr, src: u8, serial: u16) {
+    let sn = SerialNum::new(serial, 8);
+    c.handle_message(
+        Message::new(MsgType::GetX, addr, NodeId::L1(src), ME).serial(sn),
+        &mut h.ctx(),
+    );
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, addr, mem_req.dst, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, addr, NodeId::L1(src), ME)
+            .serial(sn)
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    let to_mem = h.sent_one(MsgType::UnblockEx);
+    c.handle_message(
+        Message::new(MsgType::AckBD, addr, to_mem.dst, ME).serial(to_mem.serial),
+        &mut h.ctx(),
+    );
+    h.clear();
+}
+
+fn writeback_line(c: &mut L2Controller, h: &mut Harness, addr: LineAddr, src: u8, serial: u16) {
+    let sn = SerialNum::new(serial, 8);
+    c.handle_message(
+        Message::new(MsgType::Put, addr, NodeId::L1(src), ME).serial(sn),
+        &mut h.ctx(),
+    );
+    h.clear();
+    let mut dirty = LineData::pristine();
+    dirty.write(NodeId::L1(src));
+    c.handle_message(
+        Message::new(MsgType::WbData, addr, NodeId::L1(src), ME)
+            .serial(sn)
+            .data(dirty)
+            .dirty(true),
+        &mut h.ctx(),
+    );
+    let acko = h.sent_one(MsgType::AckO);
+    c.handle_message(
+        Message::new(MsgType::AckBD, addr, NodeId::L1(src), ME).serial(acko.serial),
+        &mut h.ctx(),
+    );
+    h.clear();
+}
+
+#[test]
+fn overfull_set_evicts_dirty_victim_to_memory() {
+    let mut h = Harness::ft();
+    // Shrink the bank so a set fills quickly: 1 set x 8 ways? Use default
+    // assoc (8) and fill 8 + 1 lines of one set.
+    let mut c = l2(&h);
+    let assoc = u64::from(h.config.l2_assoc);
+    fill_bank_owned_lines(&mut c, &mut h, assoc);
+    // One more line in the same set: the LRU dirty victim goes to memory.
+    // (Drive the fill by hand: the eviction is emitted when the memory data
+    // arrives and the new line is installed.)
+    let sets = h.config.l2_sets();
+    let addr = LineAddr(3 + assoc * sets * 16);
+    c.handle_message(
+        Message::new(MsgType::GetX, addr, NodeId::L1(6), ME).serial(SerialNum::new(200, 8)),
+        &mut h.ctx(),
+    );
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, addr, mem_req.dst, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    let put = h.sent_one(MsgType::Put);
+    assert!(put.dst.is_mem());
+    assert_eq!(h.stats.l2_writebacks.get(), 1);
+    h.clear();
+    // Complete the eviction: WbAck → WbData (+ backup) → AckO → AckBD.
+    let mut wback = Message::new(MsgType::WbAck, put.addr, put.dst, ME).serial(put.serial);
+    wback.wb_wants_data = true;
+    c.handle_message(wback, &mut h.ctx());
+    let wbdata = h.sent_one(MsgType::WbData);
+    assert!(wbdata.data.is_some());
+    assert!(h.armed(ME, TimeoutKind::LostData).is_some(), "backup timer");
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::AckO, put.addr, put.dst, ME).serial(put.serial),
+        &mut h.ctx(),
+    );
+    assert_eq!(h.sent_one(MsgType::AckBD).dst, put.dst);
+    // (The 9th fill's own transaction is still open — only the eviction is
+    // driven to completion here.)
+}
+
+#[test]
+fn victim_with_l1_owner_is_recalled() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    let assoc = u64::from(h.config.l2_assoc);
+    let sets = h.config.l2_sets();
+    // Fill `assoc` lines owned by L1-5 (no writeback: L1 keeps ownership).
+    for i in 0..assoc {
+        let addr = LineAddr(3 + i * sets * 16);
+        fill_line(&mut c, &mut h, addr, 5, (10 + i) as u16);
+    }
+    // One more: every way holds an L1-owned line; the LRU one is recalled.
+    let addr = LineAddr(3 + assoc * sets * 16);
+    c.handle_message(
+        Message::new(MsgType::GetX, addr, NodeId::L1(6), ME).serial(SerialNum::new(200, 8)),
+        &mut h.ctx(),
+    );
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, addr, mem_req.dst, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    let recall = h.sent_one(MsgType::FwdGetX);
+    assert_eq!(recall.requester, ME, "the bank itself is the requester");
+    assert_eq!(h.stats.recalls.get(), 1);
+    h.clear();
+    // The owner surrenders dirty data; bank AckOs, gets AckBD, then evicts
+    // the recalled data to memory.
+    let mut dirty = LineData::pristine();
+    dirty.write(NodeId::L1(5));
+    c.handle_message(
+        Message::new(MsgType::DataEx, recall.addr, NodeId::L1(5), ME)
+            .requester(ME)
+            .serial(recall.serial)
+            .data(dirty)
+            .dirty(true),
+        &mut h.ctx(),
+    );
+    let acko = h.sent_one(MsgType::AckO);
+    assert_eq!(acko.dst, NodeId::L1(5));
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::AckBD, recall.addr, NodeId::L1(5), ME).serial(acko.serial),
+        &mut h.ctx(),
+    );
+    let put = h.sent_one(MsgType::Put);
+    assert!(put.dst.is_mem(), "recalled dirty data must reach memory");
+}
+
+#[test]
+fn recall_timeout_reprods_owner_and_sharers() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    let assoc = u64::from(h.config.l2_assoc);
+    let sets = h.config.l2_sets();
+    for i in 0..assoc {
+        let addr = LineAddr(3 + i * sets * 16);
+        fill_line(&mut c, &mut h, addr, 5, (10 + i) as u16);
+    }
+    let addr = LineAddr(3 + assoc * sets * 16);
+    c.handle_message(
+        Message::new(MsgType::GetX, addr, NodeId::L1(6), ME).serial(SerialNum::new(200, 8)),
+        &mut h.ctx(),
+    );
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::DataEx, addr, mem_req.dst, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    let recall = h.sent_one(MsgType::FwdGetX);
+    // Find the recall's own lost-unblock timer (the newest one armed for
+    // the victim's address).
+    let t = h
+        .timeouts
+        .iter()
+        .rev()
+        .find(|t| t.node == ME && t.kind == TimeoutKind::LostUnblock && t.addr == recall.addr)
+        .copied()
+        .expect("recall arms a lost-unblock timer");
+    h.clear();
+    // The recall forward was lost: the timer re-sends it.
+    c.handle_timeout(TimeoutKind::LostUnblock, recall.addr, t.gen, &mut h.ctx());
+    let again = h.sent_one(MsgType::FwdGetX);
+    assert_eq!(again.dst, recall.dst);
+}
+
+// ---------------------------------------------------------------------
+// Migratory-sharing detection (paper §2)
+// ---------------------------------------------------------------------
+
+/// Drives: owner writes (GetX), another node reads (GetS), then that node
+/// writes (GetX) — the classic migratory pattern.
+fn establish_migratory(c: &mut L2Controller, h: &mut Harness) {
+    fill_via_memory(c, h, 5, 10);
+    // L1-6 reads: forwarded to owner 5; L1-6 unblocks exclusively (E grant
+    // via forward is not what happens — owner stays; L1-6 becomes sharer).
+    c.handle_message(gets(6, 20), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::Unblock, L, NodeId::L1(6), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    h.clear();
+    // L1-6 now writes: last_getter == 6 and last was a GetS → migratory.
+    c.handle_message(getx(6, 30), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(6), ME).serial(SerialNum::new(30, 8)),
+        &mut h.ctx(),
+    );
+    h.clear();
+}
+
+#[test]
+fn migratory_pattern_converts_reads_to_exclusive_grants() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    establish_migratory(&mut c, &mut h);
+    // The next GetS (from L1-7) is treated as exclusive: FwdGetX, so the
+    // subsequent write by L1-7 hits locally (the optimization's point).
+    c.handle_message(gets(7, 40), &mut h.ctx());
+    h.sent_one(MsgType::FwdGetX);
+    h.sent_none(MsgType::FwdGetS);
+    assert_eq!(h.stats.migratory_grants.get(), 1);
+}
+
+#[test]
+fn consecutive_reads_clear_the_migratory_bit() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    establish_migratory(&mut c, &mut h);
+    // First reader: migratory grant (exclusive via forward).
+    c.handle_message(gets(7, 40), &mut h.ctx());
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(7), ME).serial(SerialNum::new(40, 8)),
+        &mut h.ctx(),
+    );
+    h.clear();
+    // Second consecutive reader: two GetS in a row clear the bit, so this
+    // one is a plain shared forward.
+    c.handle_message(gets(8, 50), &mut h.ctx());
+    h.sent_one(MsgType::FwdGetS);
+    h.sent_none(MsgType::FwdGetX);
+    assert_eq!(
+        h.stats.migratory_grants.get(),
+        1,
+        "no second migratory grant"
+    );
+}
+
+#[test]
+fn migratory_detection_respects_the_config_switch() {
+    let mut h = Harness::new({
+        let mut cfg = crate::config::SystemConfig::ftdircmp();
+        cfg.migratory_sharing = false;
+        cfg
+    });
+    let mut c = l2(&h);
+    establish_migratory(&mut c, &mut h);
+    c.handle_message(gets(7, 40), &mut h.ctx());
+    h.sent_one(MsgType::FwdGetS);
+    h.sent_none(MsgType::FwdGetX);
+    assert_eq!(h.stats.migratory_grants.get(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Further edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn wbnodata_from_clean_exclusive_removes_dataless_line() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    // L1-5 holds E (granted exclusively) and evicts cleanly.
+    c.handle_message(
+        Message::new(MsgType::Put, L, NodeId::L1(5), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::WbNoData, L, NodeId::L1(5), ME).serial(SerialNum::new(20, 8)),
+        &mut h.ctx(),
+    );
+    // No data anywhere on chip: memory owns again. No FT handshake (no
+    // data moved).
+    h.sent_none(MsgType::AckO);
+    assert!(c.is_idle());
+    // The next request is a fresh fill.
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    assert_eq!(h.sent_one(MsgType::GetX).dst, MEM);
+    assert_eq!(h.stats.l2_misses.get(), 2);
+}
+
+#[test]
+fn queue_pumps_through_consecutive_transactions() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    writeback(&mut c, &mut h, 5, 20);
+    // Three readers pile up while the first is serviced.
+    c.handle_message(gets(6, 30), &mut h.ctx());
+    c.handle_message(gets(7, 40), &mut h.ctx());
+    c.handle_message(gets(8, 50), &mut h.ctx());
+    h.clear();
+    // 6 unblocks exclusively (it got the E grant)...
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(6), ME)
+            .serial(SerialNum::new(30, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    // ...which services 7 next: forwarded to owner 6.
+    let fwd = h.sent_one(MsgType::FwdGetS);
+    assert_eq!(fwd.requester, NodeId::L1(7));
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::Unblock, L, NodeId::L1(7), ME).serial(SerialNum::new(40, 8)),
+        &mut h.ctx(),
+    );
+    // ...and then 8.
+    let fwd = h.sent_one(MsgType::FwdGetS);
+    assert_eq!(fwd.requester, NodeId::L1(8));
+}
+
+#[test]
+fn queued_reissue_refreshes_the_waiting_entry() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    c.handle_message(getx(5, 10), &mut h.ctx());
+    let mem_req = h.sent_one(MsgType::GetX);
+    h.clear();
+    // L1-6's request queues; then it reissues while still queued.
+    c.handle_message(gets(6, 20), &mut h.ctx());
+    c.handle_message(gets(6, 21), &mut h.ctx());
+    assert_eq!(
+        h.stats.deferred_requests.get(),
+        1,
+        "reissue must not duplicate"
+    );
+    // Complete the fill; the queued request is serviced with serial 21.
+    c.handle_message(
+        Message::new(MsgType::DataEx, L, MEM, ME)
+            .requester(ME)
+            .serial(mem_req.serial)
+            .data(LineData::pristine()),
+        &mut h.ctx(),
+    );
+    h.clear();
+    c.handle_message(
+        Message::new(MsgType::UnblockEx, L, NodeId::L1(5), ME)
+            .serial(SerialNum::new(10, 8))
+            .with_acko(),
+        &mut h.ctx(),
+    );
+    let fwd = h.sent_one(MsgType::FwdGetS);
+    assert_eq!(fwd.serial, SerialNum::new(21, 8));
+}
+
+#[test]
+fn tbe_occupancy_is_sampled() {
+    let mut h = Harness::ft();
+    let mut c = l2(&h);
+    fill_via_memory(&mut c, &mut h, 5, 10);
+    assert!(h.stats.l2_tbe_occupancy.count() > 0);
+    assert_eq!(h.stats.l2_tbe_occupancy.max(), Some(1));
+}

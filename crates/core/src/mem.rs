@@ -1,0 +1,485 @@
+//! The memory controller: directory of last resort and backing store.
+//!
+//! Each controller serves a line-interleaved slice of the address space.
+//! From the coherence protocol's point of view it is just another node
+//! (paper §3.1 footnote): it grants exclusive data to the home L2 bank,
+//! coordinates L2 writebacks with the same three-phase scheme, and — under
+//! FtDirCMP — participates in the ownership handshakes. Its resident copy
+//! doubles as the backup for outgoing data, so fills need no extra storage.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::data::LineData;
+use crate::ids::{LineAddr, NodeId};
+use crate::msg::{Message, MsgType};
+use crate::proto::{backoff_delay, Ctx, TimeoutKind};
+use crate::serial::SerialNum;
+
+#[allow(clippy::enum_variant_names)] // Wait* mirrors the protocol's terminology
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemStage {
+    /// DataEx sent; waiting for the L2's UnblockEx (+AckO under FT).
+    WaitUnblock,
+    /// WbAck sent; waiting for WbData/WbNoData.
+    WaitWbData,
+    /// FT: AckO sent for received WbData; waiting for AckBD.
+    WaitAckBd,
+}
+
+#[derive(Debug, Clone)]
+struct MemTbe {
+    blocker: NodeId,
+    serial: SerialNum,
+    stage: MemStage,
+    unblock_gen: u64,
+    unblock_retries: u32,
+    ackbd_gen: u64,
+    ackbd_retries: u32,
+    acko_serial: SerialNum,
+}
+
+/// One memory controller.
+#[derive(Debug)]
+pub struct MemController {
+    me: NodeId,
+    ft: bool,
+    store: HashMap<LineAddr, LineData>,
+    l2_owned: HashSet<LineAddr>,
+    tbes: HashMap<LineAddr, MemTbe>,
+    waiting: HashMap<LineAddr, VecDeque<Message>>,
+    gen_counter: u64,
+}
+
+impl MemController {
+    /// Creates memory controller `index`.
+    pub fn new(index: u8, fault_tolerant: bool) -> Self {
+        MemController {
+            me: NodeId::Mem(index),
+            ft: fault_tolerant,
+            store: HashMap::new(),
+            l2_owned: HashSet::new(),
+            tbes: HashMap::new(),
+            waiting: HashMap::new(),
+            gen_counter: 0,
+        }
+    }
+
+    /// This controller's node id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Whether no transactions are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.tbes.is_empty() && self.waiting.values().all(VecDeque::is_empty)
+    }
+
+    /// Human-readable summary of in-flight state (deadlock diagnostics).
+    pub fn pending_summary(&self) -> String {
+        let mut out = String::new();
+        for (a, t) in &self.tbes {
+            out.push_str(&format!(
+                "{} tbe {a} stage={:?} blocker={} serial={}\n",
+                self.me, t.stage, t.blocker, t.serial
+            ));
+        }
+        for (a, q) in &self.waiting {
+            if !q.is_empty() {
+                out.push_str(&format!("{} waiting {a} n={}\n", self.me, q.len()));
+            }
+        }
+        out
+    }
+
+    /// The stored version of a line (0 if never written back).
+    pub fn stored_version(&self, addr: LineAddr) -> u64 {
+        self.store.get(&addr).map_or(0, |d| d.version())
+    }
+
+    /// Whether the chip (L2) currently owns the line.
+    pub fn is_chip_owned(&self, addr: LineAddr) -> bool {
+        self.l2_owned.contains(&addr)
+    }
+
+    fn data_of(&self, addr: LineAddr) -> LineData {
+        self.store.get(&addr).copied().unwrap_or_default()
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        self.gen_counter += 1;
+        self.gen_counter
+    }
+
+    /// Handles an incoming network message.
+    pub fn handle_message(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg.mtype {
+            MsgType::GetX | MsgType::GetS | MsgType::Put => self.on_request(msg, ctx),
+            MsgType::Unblock | MsgType::UnblockEx => self.on_unblock(msg, ctx),
+            MsgType::WbData | MsgType::WbNoData | MsgType::WbCancel => self.on_wb_data(msg, ctx),
+            MsgType::AckBD => self.on_ackbd(msg, ctx),
+            MsgType::AckO => {
+                // Not part of any expected flow (memory's backups are
+                // implicit), but answer idempotently.
+                ctx.send(
+                    Message::new(MsgType::AckBD, msg.addr, self.me, msg.src).serial(msg.serial),
+                    2,
+                );
+            }
+            MsgType::OwnershipPing => self.on_ownership_ping(msg, ctx),
+            other => {
+                debug_assert!(false, "memory received unexpected {other}");
+            }
+        }
+    }
+
+    /// Handles a fired timeout.
+    pub fn handle_timeout(
+        &mut self,
+        kind: TimeoutKind,
+        addr: LineAddr,
+        gen: u64,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match kind {
+            TimeoutKind::LostUnblock => self.on_lost_unblock(addr, gen, ctx),
+            TimeoutKind::LostAckBd => self.on_lost_ackbd(addr, gen, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_request(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        if let Some(tbe) = self.tbes.get(&msg.addr) {
+            // Same-kind check: a Put from the blocker while its fill awaits
+            // an unblock is a new transaction, not a reissue (and vice
+            // versa) — it must queue.
+            let same_kind = match tbe.stage {
+                MemStage::WaitUnblock => msg.mtype == MsgType::GetX || msg.mtype == MsgType::GetS,
+                MemStage::WaitWbData | MemStage::WaitAckBd => msg.mtype == MsgType::Put,
+            };
+            if tbe.blocker == msg.src && same_kind {
+                if self.ft && tbe.serial != msg.serial {
+                    self.on_reissue(msg, ctx);
+                }
+                return;
+            }
+            let q = self.waiting.entry(msg.addr).or_default();
+            if let Some(existing) = q
+                .iter_mut()
+                .find(|m| m.src == msg.src && m.mtype == msg.mtype)
+            {
+                existing.serial = msg.serial;
+            } else {
+                q.push_back(msg);
+                ctx.stats.deferred_requests.incr();
+            }
+            return;
+        }
+        self.service_request(msg, ctx);
+    }
+
+    fn on_reissue(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        ctx.stats.false_positives.incr();
+        let Some(tbe) = self.tbes.get_mut(&msg.addr) else {
+            return;
+        };
+        tbe.serial = msg.serial;
+        let stage = tbe.stage;
+        match stage {
+            MemStage::WaitUnblock => {
+                let data = self.data_of(msg.addr);
+                ctx.send(
+                    Message::new(MsgType::DataEx, msg.addr, self.me, msg.src)
+                        .requester(msg.src)
+                        .serial(msg.serial)
+                        .data(data),
+                    ctx.config.mem_cycles,
+                );
+            }
+            MemStage::WaitWbData => {
+                let mut wback =
+                    Message::new(MsgType::WbAck, msg.addr, self.me, msg.src).serial(msg.serial);
+                wback.wb_wants_data = true;
+                ctx.send(wback, 2);
+            }
+            MemStage::WaitAckBd => {}
+        }
+    }
+
+    fn service_request(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg.mtype {
+            MsgType::GetX | MsgType::GetS => {
+                let mut tbe = MemTbe {
+                    blocker: msg.src,
+                    serial: msg.serial,
+                    stage: MemStage::WaitUnblock,
+                    unblock_gen: 0,
+                    unblock_retries: 0,
+                    ackbd_gen: 0,
+                    ackbd_retries: 0,
+                    acko_serial: SerialNum::ZERO,
+                };
+                if self.ft {
+                    tbe.unblock_gen = self.next_gen();
+                    ctx.arm_timeout(
+                        self.me,
+                        msg.addr,
+                        TimeoutKind::LostUnblock,
+                        tbe.unblock_gen,
+                        ctx.config.ft.lost_unblock_timeout,
+                    );
+                }
+                self.tbes.insert(msg.addr, tbe);
+                let data = self.data_of(msg.addr);
+                // Memory always grants exclusively: the home bank is the
+                // only L2-level requester for its slice. Memory's retained
+                // copy is the implicit backup (FT).
+                ctx.send(
+                    Message::new(MsgType::DataEx, msg.addr, self.me, msg.src)
+                        .requester(msg.src)
+                        .serial(msg.serial)
+                        .data(data),
+                    ctx.config.mem_cycles,
+                );
+            }
+            MsgType::Put => {
+                if !self.l2_owned.contains(&msg.addr) {
+                    let mut wback =
+                        Message::new(MsgType::WbAck, msg.addr, self.me, msg.src).serial(msg.serial);
+                    wback.wb_stale = true;
+                    ctx.send(wback, 2);
+                    return;
+                }
+                let mut tbe = MemTbe {
+                    blocker: msg.src,
+                    serial: msg.serial,
+                    stage: MemStage::WaitWbData,
+                    unblock_gen: 0,
+                    unblock_retries: 0,
+                    ackbd_gen: 0,
+                    ackbd_retries: 0,
+                    acko_serial: SerialNum::ZERO,
+                };
+                if self.ft {
+                    tbe.unblock_gen = self.next_gen();
+                    ctx.arm_timeout(
+                        self.me,
+                        msg.addr,
+                        TimeoutKind::LostUnblock,
+                        tbe.unblock_gen,
+                        ctx.config.ft.lost_unblock_timeout,
+                    );
+                }
+                self.tbes.insert(msg.addr, tbe);
+                let mut wback =
+                    Message::new(MsgType::WbAck, msg.addr, self.me, msg.src).serial(msg.serial);
+                wback.wb_wants_data = true;
+                ctx.send(wback, 2);
+            }
+            _ => unreachable!("only requests are serviced"),
+        }
+    }
+
+    fn on_unblock(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let stale = match self.tbes.get(&msg.addr) {
+            None => true,
+            Some(tbe) => {
+                tbe.stage != MemStage::WaitUnblock
+                    || tbe.blocker != msg.src
+                    || (self.ft && tbe.serial != msg.serial)
+            }
+        };
+        if stale {
+            // Stale or duplicate unblock: still acknowledge a piggybacked
+            // AckO so the L2's external-blocked state can always drain.
+            if msg.piggy_acko {
+                ctx.send(
+                    Message::new(MsgType::AckBD, msg.addr, self.me, msg.src).serial(msg.serial),
+                    2,
+                );
+            }
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        self.tbes.remove(&msg.addr);
+        self.l2_owned.insert(msg.addr);
+        if self.ft && msg.piggy_acko {
+            ctx.send(
+                Message::new(MsgType::AckBD, msg.addr, self.me, msg.src).serial(msg.serial),
+                2,
+            );
+        }
+        self.pump_waiting(msg.addr, ctx);
+    }
+
+    fn on_wb_data(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let Some(tbe) = self.tbes.get_mut(&msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if tbe.stage != MemStage::WaitWbData
+            || tbe.blocker != msg.src
+            || (self.ft && tbe.serial != msg.serial)
+        {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        match msg.mtype {
+            MsgType::WbData => {
+                let data = msg.data.expect("WbData carries data");
+                debug_assert!(
+                    data.version() >= self.store.get(&msg.addr).map_or(0, |d| d.version()),
+                    "writeback would regress memory contents"
+                );
+                self.store.insert(msg.addr, data);
+                self.l2_owned.remove(&msg.addr);
+                if self.ft {
+                    tbe.stage = MemStage::WaitAckBd;
+                    tbe.acko_serial = msg.serial;
+                    tbe.ackbd_gen = {
+                        self.gen_counter += 1;
+                        self.gen_counter
+                    };
+                    let gen = tbe.ackbd_gen;
+                    ctx.send(
+                        Message::new(MsgType::AckO, msg.addr, self.me, msg.src).serial(msg.serial),
+                        2,
+                    );
+                    ctx.arm_timeout(
+                        self.me,
+                        msg.addr,
+                        TimeoutKind::LostAckBd,
+                        gen,
+                        ctx.config.ft.lost_ackbd_timeout,
+                    );
+                    return;
+                }
+                self.tbes.remove(&msg.addr);
+            }
+            MsgType::WbNoData | MsgType::WbCancel => {
+                self.l2_owned.remove(&msg.addr);
+                self.tbes.remove(&msg.addr);
+            }
+            _ => unreachable!(),
+        }
+        self.pump_waiting(msg.addr, ctx);
+    }
+
+    fn on_ackbd(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let Some(tbe) = self.tbes.get(&msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if tbe.stage != MemStage::WaitAckBd || tbe.acko_serial != msg.serial {
+            ctx.stats.stale_discards.incr();
+            return;
+        }
+        self.tbes.remove(&msg.addr);
+        self.pump_waiting(msg.addr, ctx);
+    }
+
+    fn on_ownership_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        // The L2 holds a writeback backup and asks whether its WbData made
+        // it here.
+        let still_waiting = self
+            .tbes
+            .get(&msg.addr)
+            .is_some_and(|t| t.stage == MemStage::WaitWbData);
+        let reply = if still_waiting {
+            MsgType::NackO
+        } else {
+            MsgType::AckO
+        };
+        ctx.send(
+            Message::new(reply, msg.addr, self.me, msg.src).serial(msg.serial),
+            2,
+        );
+    }
+
+    fn pump_waiting(&mut self, addr: LineAddr, ctx: &mut Ctx<'_>) {
+        loop {
+            if self.tbes.contains_key(&addr) {
+                return;
+            }
+            let Some(q) = self.waiting.get_mut(&addr) else {
+                return;
+            };
+            let Some(msg) = q.pop_front() else {
+                self.waiting.remove(&addr);
+                return;
+            };
+            if q.is_empty() {
+                self.waiting.remove(&addr);
+            }
+            self.service_request(msg, ctx);
+        }
+    }
+
+    fn on_lost_unblock(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            return;
+        };
+        if tbe.unblock_gen != gen {
+            return;
+        }
+        ctx.stats.record_timeout(TimeoutKind::LostUnblock);
+        tbe.unblock_retries += 1;
+        self.gen_counter += 1;
+        tbe.unblock_gen = self.gen_counter;
+        let new_gen = tbe.unblock_gen;
+        let retries = tbe.unblock_retries;
+        let (blocker, serial, stage) = (tbe.blocker, tbe.serial, tbe.stage);
+        match stage {
+            MemStage::WaitUnblock => {
+                let mut ping =
+                    Message::new(MsgType::UnblockPing, addr, self.me, blocker).serial(serial);
+                ping.ping_for_store = true;
+                ctx.send(ping, 2);
+            }
+            MemStage::WaitWbData => {
+                let mut ping = Message::new(MsgType::WbPing, addr, self.me, blocker).serial(serial);
+                ping.wb_wants_data = true;
+                ctx.send(ping, 2);
+            }
+            MemStage::WaitAckBd => return,
+        }
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostUnblock,
+            new_gen,
+            backoff_delay(ctx.config.ft.lost_unblock_timeout, retries),
+        );
+    }
+
+    fn on_lost_ackbd(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
+        let bits = ctx.config.ft.serial_bits;
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            return;
+        };
+        if tbe.ackbd_gen != gen || tbe.stage != MemStage::WaitAckBd {
+            return;
+        }
+        ctx.stats.record_timeout(TimeoutKind::LostAckBd);
+        tbe.acko_serial = tbe.acko_serial.next(bits);
+        tbe.ackbd_retries += 1;
+        self.gen_counter += 1;
+        tbe.ackbd_gen = self.gen_counter;
+        let retries = tbe.ackbd_retries;
+        let (blocker, serial, new_gen) = (tbe.blocker, tbe.acko_serial, tbe.ackbd_gen);
+        ctx.send(
+            Message::new(MsgType::AckO, addr, self.me, blocker).serial(serial),
+            2,
+        );
+        ctx.arm_timeout(
+            self.me,
+            addr,
+            TimeoutKind::LostAckBd,
+            new_gen,
+            backoff_delay(ctx.config.ft.lost_ackbd_timeout, retries),
+        );
+    }
+}
+
+#[cfg(test)]
+#[path = "mem_tests.rs"]
+mod tests;

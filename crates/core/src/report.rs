@@ -1,0 +1,172 @@
+//! Human-readable rendering of simulation reports.
+
+use ftdircmp_noc::VcClass;
+use ftdircmp_stats::table::Table;
+
+use crate::msg::MsgType;
+use crate::proto::TimeoutKind;
+use crate::system::SimReport;
+
+impl SimReport {
+    /// Renders a full text summary of the run: headline numbers, traffic by
+    /// class and type, miss behaviour and fault-tolerance activity.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ftdircmp_core::{System, SystemConfig};
+    /// use ftdircmp_core::trace::{CoreTrace, TraceOp, Workload};
+    /// use ftdircmp_core::ids::Addr;
+    ///
+    /// let wl = Workload::new("t", vec![CoreTrace::new(vec![TraceOp::Store(Addr(64))])]);
+    /// let report = System::run_workload(SystemConfig::ftdircmp(), &wl)?;
+    /// let text = report.render_summary();
+    /// assert!(text.contains("execution time"));
+    /// # Ok::<(), ftdircmp_core::system::RunError>(())
+    /// ```
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run: {} under {} — {} cycles, {} ops ({} memory)\n",
+            self.workload, self.protocol, self.cycles, self.total_ops, self.total_mem_ops
+        ));
+        out.push_str(&format!(
+            "execution time: {} cycles   network: {} messages / {} bytes ({} lost to faults)\n",
+            self.cycles,
+            self.stats.total_messages(),
+            self.stats.total_bytes(),
+            self.messages_lost
+        ));
+        out.push_str(&format!(
+            "L1: {} hits / {} misses (miss rate {:.1}%)   L2: {} hits / {} misses\n",
+            self.stats.l1_load_hits.get() + self.stats.l1_store_hits.get(),
+            self.stats.l1_misses(),
+            ftdircmp_stats::percent(self.stats.l1_misses(), self.stats.l1_accesses()),
+            self.stats.l2_hits.get(),
+            self.stats.l2_misses.get(),
+        ));
+        if self.stats.miss_latency.count() > 0 {
+            out.push_str(&format!(
+                "miss latency: mean {:.0}, p50 {}, p99 {}, max {} cycles\n",
+                self.stats.miss_latency.mean(),
+                self.stats.miss_latency.percentile(50.0).unwrap_or(0),
+                self.stats.miss_latency.percentile(99.0).unwrap_or(0),
+                self.stats.miss_latency.max().unwrap_or(0),
+            ));
+        }
+        out.push_str(&format!(
+            "network links: busiest {:.1}% utilized, mean {:.1}%\n",
+            100.0 * self.max_link_utilization,
+            100.0 * self.mean_link_utilization,
+        ));
+        out.push_str(&format!(
+            "writebacks: {} L1, {} L2   recalls: {}   migratory grants: {}\n",
+            self.stats.l1_writebacks.get(),
+            self.stats.l2_writebacks.get(),
+            self.stats.recalls.get(),
+            self.stats.migratory_grants.get(),
+        ));
+
+        // Fault-tolerance activity.
+        if self.protocol.is_fault_tolerant() {
+            let timeouts: Vec<String> = TimeoutKind::ALL
+                .iter()
+                .filter(|k| self.stats.timeouts(**k) > 0)
+                .map(|k| format!("{}={}", k.label(), self.stats.timeouts(*k)))
+                .collect();
+            out.push_str(&format!(
+                "fault tolerance: {} reissues, {} stale discards, {} false positives, timeouts [{}]\n",
+                self.stats.reissues.get(),
+                self.stats.stale_discards.get(),
+                self.stats.false_positives.get(),
+                timeouts.join(", "),
+            ));
+        }
+
+        // Traffic by class.
+        let mut t = Table::with_columns(&["class", "messages", "bytes"]);
+        for class in VcClass::ALL {
+            let m = self.stats.messages_by_class(class);
+            if m > 0 {
+                t.row(vec![
+                    class.label().into(),
+                    m.to_string(),
+                    self.stats.bytes_by_class(class).to_string(),
+                ]);
+            }
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+
+        // Non-zero message types.
+        let mut t = Table::with_columns(&["message", "count", "bytes"]);
+        for mtype in MsgType::ALL {
+            let n = self.stats.messages(mtype);
+            if n > 0 {
+                t.row(vec![
+                    mtype.name().into(),
+                    n.to_string(),
+                    self.stats.bytes(mtype).to_string(),
+                ]);
+            }
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+
+        if !self.violations.is_empty() {
+            out.push_str(&format!(
+                "\nINVARIANT VIOLATIONS ({}):\n",
+                self.violations.len()
+            ));
+            for v in &self.violations {
+                out.push_str(&format!("  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SystemConfig;
+    use crate::ids::Addr;
+    use crate::system::System;
+    use crate::trace::{CoreTrace, TraceOp, Workload};
+
+    fn report() -> crate::system::SimReport {
+        let wl = Workload::new(
+            "render",
+            vec![
+                CoreTrace::new(vec![TraceOp::Store(Addr(64)), TraceOp::Load(Addr(128))]),
+                CoreTrace::new(vec![TraceOp::Think(500), TraceOp::Load(Addr(64))]),
+            ],
+        );
+        System::run_workload(SystemConfig::ftdircmp(), &wl).unwrap()
+    }
+
+    #[test]
+    fn summary_contains_headline_sections() {
+        let text = report().render_summary();
+        for needle in [
+            "execution time",
+            "L1:",
+            "miss latency",
+            "fault tolerance",
+            "class",
+            "GetS",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.contains("VIOLATIONS"));
+    }
+
+    #[test]
+    fn dircmp_summary_omits_ft_section() {
+        let wl = Workload::new(
+            "render",
+            vec![CoreTrace::new(vec![TraceOp::Store(Addr(64))])],
+        );
+        let r = System::run_workload(SystemConfig::dircmp(), &wl).unwrap();
+        assert!(!r.render_summary().contains("fault tolerance:"));
+    }
+}

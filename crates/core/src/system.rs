@@ -1,0 +1,559 @@
+//! System assembly and the simulation driver.
+//!
+//! A [`System`] wires 16 tiles (core + L1 + L2 bank), the memory
+//! controllers, and the mesh network together, then runs a [`Workload`] to
+//! completion, producing a [`SimReport`] with the quantities the paper's
+//! evaluation reports.
+
+use ftdircmp_noc::{Mesh, NocStats, RouterId};
+use ftdircmp_sim::{Cycle, DetRng, EventQueue};
+
+use crate::checker::Checker;
+use crate::config::{ProtocolVariant, SystemConfig};
+use crate::cpu::{Cpu, IssueBlock};
+use crate::ids::{LineAddr, NodeId};
+use crate::l1::{CpuOp, CpuOutcome, L1Controller};
+use crate::l2::L2Controller;
+use crate::mem::MemController;
+use crate::msg::Message;
+use crate::proto::{CoreCompletion, Ctx, Outgoing, TimeoutKind, TimeoutReq};
+use crate::stats::ProtocolStats;
+use crate::trace::{TraceOp, Workload};
+use crate::tracelog::{StderrSink, TraceEvent, TraceEventKind, TraceSink};
+
+#[derive(Debug)]
+enum Event {
+    CpuStep(u8),
+    Deliver(Message),
+    Timeout {
+        node: NodeId,
+        addr: LineAddr,
+        kind: TimeoutKind,
+        gen: u64,
+    },
+}
+
+/// Why a run ended without completing the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// No core made progress for the watchdog window — the protocol
+    /// deadlocked (expected for DirCMP on a faulty network, §3).
+    Deadlock {
+        /// Simulated time at detection.
+        at: u64,
+        /// Cores still blocked on memory.
+        blocked_cores: Vec<u8>,
+        /// In-flight state of every controller at detection time.
+        diagnostics: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            RunError::Deadlock {
+                at,
+                blocked_cores,
+                diagnostics,
+            } => write!(
+                f,
+                "deadlock detected at cycle {at}: {} cores blocked\n{diagnostics}",
+                blocked_cores.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Protocol that ran.
+    pub protocol: ProtocolVariant,
+    /// Workload name.
+    pub workload: String,
+    /// Execution time: cycle at which the last core retired its last
+    /// operation.
+    pub cycles: u64,
+    /// Total operations retired.
+    pub total_ops: u64,
+    /// Total memory operations retired.
+    pub total_mem_ops: u64,
+    /// Protocol statistics (traffic by type, misses, timeouts, …).
+    pub stats: ProtocolStats,
+    /// Network statistics (traffic by class, drops, latency).
+    pub noc: NocStats,
+    /// Invariant violations found by the checker (must be empty).
+    pub violations: Vec<String>,
+    /// Messages lost to injected faults.
+    pub messages_lost: u64,
+    /// Residual protocol activity never drained (diagnostic; should be 0).
+    pub residual_activity: u64,
+    /// Utilization of the busiest mesh link over the run (0.0..=1.0).
+    pub max_link_utilization: f64,
+    /// Mean utilization across links that carried traffic.
+    pub mean_link_utilization: f64,
+}
+
+impl SimReport {
+    /// Execution time relative to a baseline run (the y-axis of Figure 3).
+    pub fn relative_execution_time(&self, baseline: &SimReport) -> f64 {
+        ftdircmp_stats::ratio_or(self.cycles, baseline.cycles, 1.0)
+    }
+
+    /// Network message overhead relative to a baseline run (Figure 4 left).
+    pub fn message_overhead(&self, baseline: &SimReport) -> f64 {
+        ftdircmp_stats::ratio_or(
+            self.stats.total_messages(),
+            baseline.stats.total_messages(),
+            1.0,
+        ) - 1.0
+    }
+
+    /// Network byte overhead relative to a baseline run (Figure 4 right).
+    pub fn byte_overhead(&self, baseline: &SimReport) -> f64 {
+        ftdircmp_stats::ratio_or(self.stats.total_bytes(), baseline.stats.total_bytes(), 1.0) - 1.0
+    }
+}
+
+/// The simulated 16-tile CMP.
+pub struct System {
+    config: SystemConfig,
+    queue: EventQueue<Event>,
+    mesh: Mesh,
+    l1s: Vec<L1Controller>,
+    l2s: Vec<L2Controller>,
+    mems: Vec<MemController>,
+    cpus: Vec<Cpu>,
+    checker: Checker,
+    stats: ProtocolStats,
+    workload_name: String,
+    last_progress: Cycle,
+    finished_at: Cycle,
+    trace_sink: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("config", &self.config)
+            .field("now", &self.queue.now())
+            .field("pending_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system for `config` running `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidConfig`] if the configuration is
+    /// inconsistent or the workload has more traces than cores.
+    pub fn new(config: SystemConfig, workload: &Workload) -> Result<Self, RunError> {
+        config.validate().map_err(RunError::InvalidConfig)?;
+        if workload.traces.len() > usize::from(config.tiles) {
+            return Err(RunError::InvalidConfig(format!(
+                "workload has {} traces but only {} cores",
+                workload.traces.len(),
+                config.tiles
+            )));
+        }
+        let root = DetRng::from_seed(config.seed);
+        let mesh = Mesh::new(config.mesh.clone(), root.fork("mesh"));
+        let ft = config.protocol.is_fault_tolerant();
+        let l1s = (0..config.tiles)
+            .map(|i| {
+                let mut rng = root.fork_indexed("l1", u64::from(i));
+                L1Controller::new(i, &config, &mut rng)
+            })
+            .collect();
+        let l2s = (0..config.tiles)
+            .map(|i| {
+                let mut rng = root.fork_indexed("l2", u64::from(i));
+                L2Controller::new(i, &config, &mut rng)
+            })
+            .collect();
+        let mems = (0..config.mem_controllers)
+            .map(|i| MemController::new(i, ft))
+            .collect();
+        let window = config.max_outstanding_misses;
+        let cpus = (0..config.tiles)
+            .map(|i| {
+                let trace = workload
+                    .traces
+                    .get(usize::from(i))
+                    .cloned()
+                    .unwrap_or_default();
+                Cpu::new(i, trace, window)
+            })
+            .collect();
+        Ok(System {
+            config,
+            queue: EventQueue::new(),
+            mesh,
+            l1s,
+            l2s,
+            mems,
+            cpus,
+            checker: Checker::new(true),
+            stats: ProtocolStats::new(),
+            workload_name: workload.name.clone(),
+            last_progress: Cycle::ZERO,
+            finished_at: Cycle::ZERO,
+            trace_sink: StderrSink::from_env().map(|s| Box::new(s) as Box<dyn TraceSink>),
+        })
+    }
+
+    /// Convenience: build and run in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::new`] and [`System::run`].
+    pub fn run_workload(config: SystemConfig, workload: &Workload) -> Result<SimReport, RunError> {
+        System::new(config, workload)?.run()
+    }
+
+    fn node_router(&self, node: NodeId) -> RouterId {
+        match node {
+            NodeId::L1(i) | NodeId::L2(i) => RouterId::new(u16::from(i)),
+            NodeId::Mem(j) => RouterId::new(self.config.mem_routers[usize::from(j)]),
+        }
+    }
+
+    fn all_cores_done(&self) -> bool {
+        self.cpus.iter().all(Cpu::is_done)
+    }
+
+    /// In-flight state of every controller (deadlock diagnostics).
+    pub fn diagnostics(&self) -> String {
+        let mut out = String::new();
+        for c in &self.l1s {
+            out.push_str(&c.pending_summary());
+        }
+        for c in &self.l2s {
+            out.push_str(&c.pending_summary());
+        }
+        for c in &self.mems {
+            out.push_str(&c.pending_summary());
+        }
+        out
+    }
+
+    fn residual_activity(&self) -> u64 {
+        let l1 = self.l1s.iter().filter(|c| !c.is_idle()).count();
+        let l2 = self.l2s.iter().filter(|c| !c.is_idle()).count();
+        let mem = self.mems.iter().filter(|c| !c.is_idle()).count();
+        (l1 + l2 + mem) as u64
+    }
+
+    /// Runs the workload to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] if no core retires an operation within
+    /// the watchdog window — which is the guaranteed outcome of losing any
+    /// message under DirCMP (§3), and must never happen under FtDirCMP.
+    pub fn run(mut self) -> Result<SimReport, RunError> {
+        for i in 0..self.cpus.len() {
+            if !self.cpus[i].is_done() {
+                self.queue.schedule(Cycle::ZERO, Event::CpuStep(i as u8));
+            }
+        }
+        let watchdog = self.config.watchdog_cycles;
+
+        while let Some((now, ev)) = self.queue.pop() {
+            // Deadlock watchdog: cores alive but nothing retiring.
+            if !self.all_cores_done() && now.saturating_since(self.last_progress) > watchdog {
+                let blocked: Vec<u8> = self
+                    .cpus
+                    .iter()
+                    .filter(|c| !c.is_done())
+                    .map(Cpu::core)
+                    .collect();
+                return Err(RunError::Deadlock {
+                    at: now.as_u64(),
+                    blocked_cores: blocked,
+                    diagnostics: self.diagnostics(),
+                });
+            }
+            // Leftover-activity guard: cores done but timers keep re-arming.
+            if self.all_cores_done() && now.saturating_since(self.finished_at) > watchdog {
+                break;
+            }
+            self.dispatch(now, ev);
+        }
+
+        // An empty event queue with blocked cores is a deadlock too: under
+        // DirCMP a lost message leaves nothing in flight and no timer to
+        // recover (§3).
+        if !self.all_cores_done() {
+            let blocked: Vec<u8> = self
+                .cpus
+                .iter()
+                .filter(|c| !c.is_done())
+                .map(Cpu::core)
+                .collect();
+            return Err(RunError::Deadlock {
+                at: self.queue.now().as_u64(),
+                blocked_cores: blocked,
+                diagnostics: self.diagnostics(),
+            });
+        }
+
+        let residual_activity = self.residual_activity();
+        let elapsed = self.queue.now().as_u64().max(1);
+        let max_link_utilization = self.mesh.max_link_utilization(elapsed);
+        let mean_link_utilization = self.mesh.mean_link_utilization(elapsed);
+        let report = SimReport {
+            protocol: self.config.protocol,
+            workload: self.workload_name.clone(),
+            cycles: self.finished_at.as_u64(),
+            total_ops: self.cpus.iter().map(Cpu::ops_done).sum(),
+            total_mem_ops: self.cpus.iter().map(Cpu::mem_ops_done).sum(),
+            stats: self.stats,
+            noc: self.mesh.stats().clone(),
+            violations: self.checker.violations().to_vec(),
+            messages_lost: self.mesh.fault_injector().messages_dropped(),
+            residual_activity,
+            max_link_utilization,
+            mean_link_utilization,
+        };
+        Ok(report)
+    }
+
+    /// Attaches a trace sink observing every delivered message, fired
+    /// timeout and retired operation. By default a stderr sink is installed
+    /// when the `FTDIRCMP_TRACE_LINE` environment variable is set.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sink = Some(sink);
+    }
+
+    fn trace(&mut self, at: Cycle, kind: TraceEventKind) {
+        if let Some(sink) = &mut self.trace_sink {
+            sink.record(TraceEvent { at, kind });
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, ev: Event) {
+        if self.trace_sink.is_some() {
+            match &ev {
+                Event::Deliver(m) => {
+                    self.trace(now, TraceEventKind::Delivered(m.clone()));
+                }
+                Event::Timeout {
+                    node, addr, kind, ..
+                } => {
+                    self.trace(
+                        now,
+                        TraceEventKind::TimeoutFired {
+                            node: *node,
+                            addr: *addr,
+                            kind: *kind,
+                        },
+                    );
+                }
+                Event::CpuStep(_) => {}
+            }
+        }
+        let mut out: Vec<Outgoing> = Vec::new();
+        let mut timeouts: Vec<TimeoutReq> = Vec::new();
+        let mut completions: Vec<CoreCompletion> = Vec::new();
+
+        match ev {
+            Event::CpuStep(core) => {
+                self.cpu_step(now, core, &mut out, &mut timeouts, &mut completions);
+            }
+            Event::Deliver(msg) => {
+                let mut ctx = Ctx {
+                    now,
+                    out: &mut out,
+                    timeouts: &mut timeouts,
+                    completions: &mut completions,
+                    stats: &mut self.stats,
+                    checker: &mut self.checker,
+                    config: &self.config,
+                };
+                match msg.dst {
+                    NodeId::L1(i) => self.l1s[usize::from(i)].handle_message(msg, &mut ctx),
+                    NodeId::L2(i) => self.l2s[usize::from(i)].handle_message(msg, &mut ctx),
+                    NodeId::Mem(i) => self.mems[usize::from(i)].handle_message(msg, &mut ctx),
+                }
+            }
+            Event::Timeout {
+                node,
+                addr,
+                kind,
+                gen,
+            } => {
+                let mut ctx = Ctx {
+                    now,
+                    out: &mut out,
+                    timeouts: &mut timeouts,
+                    completions: &mut completions,
+                    stats: &mut self.stats,
+                    checker: &mut self.checker,
+                    config: &self.config,
+                };
+                match node {
+                    NodeId::L1(i) => {
+                        self.l1s[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx)
+                    }
+                    NodeId::L2(i) => {
+                        self.l2s[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx)
+                    }
+                    NodeId::Mem(i) => {
+                        self.mems[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx)
+                    }
+                }
+            }
+        }
+
+        self.apply_effects(now, out, timeouts, completions);
+    }
+
+    fn cpu_step(
+        &mut self,
+        now: Cycle,
+        core: u8,
+        out: &mut Vec<Outgoing>,
+        timeouts: &mut Vec<TimeoutReq>,
+        completions: &mut Vec<CoreCompletion>,
+    ) {
+        let idx = usize::from(core);
+        let line_bytes = self.config.line_bytes;
+        // Issue operations until the core blocks (miss window full,
+        // same-line dependence, hit pacing, or trace drained).
+        loop {
+            if self.cpus[idx].is_done() {
+                self.note_progress(now);
+                return;
+            }
+            match self.cpus[idx].issue_state(|op| op.addr().map(|a| a.line(line_bytes))) {
+                IssueBlock::Ready => {}
+                // Blocked: a completion will reschedule this core.
+                IssueBlock::SameLine(_) | IssueBlock::WindowFull | IssueBlock::Drained => return,
+            }
+            let op = self.cpus[idx].current_op().expect("ready implies an op");
+            match op {
+                TraceOp::Think(n) => {
+                    self.cpus[idx].retire_now();
+                    if self.trace_sink.is_some() {
+                        self.trace(now, TraceEventKind::OpRetired { core, op });
+                    }
+                    self.note_progress(now);
+                    if !self.cpus[idx].is_done() {
+                        self.queue.schedule(now + n.max(1), Event::CpuStep(core));
+                    }
+                    return;
+                }
+                TraceOp::Load(addr) | TraceOp::Store(addr) => {
+                    let line = addr.line(line_bytes);
+                    let cpu_op = CpuOp {
+                        addr: line,
+                        is_store: matches!(op, TraceOp::Store(_)),
+                    };
+                    let mut ctx = Ctx {
+                        now,
+                        out,
+                        timeouts,
+                        completions,
+                        stats: &mut self.stats,
+                        checker: &mut self.checker,
+                        config: &self.config,
+                    };
+                    match self.l1s[idx].cpu_access(cpu_op, &mut ctx) {
+                        CpuOutcome::Hit => {
+                            self.cpus[idx].retire_now();
+                            if self.trace_sink.is_some() {
+                                self.trace(now, TraceEventKind::OpRetired { core, op });
+                            }
+                            self.note_progress(now);
+                            if !self.cpus[idx].is_done() {
+                                self.queue.schedule(
+                                    now + self.config.l1_hit_cycles,
+                                    Event::CpuStep(core),
+                                );
+                            }
+                            return;
+                        }
+                        CpuOutcome::Miss | CpuOutcome::Stalled => {
+                            // In flight (the L1 owns stalled ops too, and
+                            // completes them when the writeback resolves);
+                            // keep issuing if the window allows.
+                            self.cpus[idx].issue_miss(line);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_progress(&mut self, now: Cycle) {
+        self.last_progress = now;
+        if self.all_cores_done() {
+            self.finished_at = now;
+        }
+    }
+
+    fn apply_effects(
+        &mut self,
+        now: Cycle,
+        out: Vec<Outgoing>,
+        timeouts: Vec<TimeoutReq>,
+        completions: Vec<CoreCompletion>,
+    ) {
+        for Outgoing { msg, delay } in out {
+            let send_at = now + delay;
+            let src = self.node_router(msg.src);
+            let dst = self.node_router(msg.dst);
+            let bytes = msg.size_bytes(self.config.control_msg_bytes, self.config.data_msg_bytes);
+            self.stats.record_msg(msg.mtype, bytes);
+            match self.mesh.send(send_at, src, dst, bytes, msg.vc_class()) {
+                ftdircmp_noc::SendOutcome::Delivered { at } => {
+                    self.queue
+                        .schedule(at.max(send_at + 1), Event::Deliver(msg));
+                }
+                ftdircmp_noc::SendOutcome::Dropped => {
+                    // The message vanished in the network (transient fault).
+                }
+            }
+        }
+        for t in timeouts {
+            self.queue.schedule(
+                now + t.delay,
+                Event::Timeout {
+                    node: t.node,
+                    addr: t.addr,
+                    kind: t.kind,
+                    gen: t.gen,
+                },
+            );
+        }
+        for c in completions {
+            let idx = usize::from(c.core);
+            self.cpus[idx].complete(c.addr);
+            if self.trace_sink.is_some() {
+                // Reconstruct the retired op (line-granular address).
+                let a = c.addr.base_addr(self.config.line_bytes);
+                let op = if c.was_store {
+                    TraceOp::Store(a)
+                } else {
+                    TraceOp::Load(a)
+                };
+                self.trace(now, TraceEventKind::OpRetired { core: c.core, op });
+            }
+            self.note_progress(now);
+            self.queue
+                .schedule(now + c.delay.max(1), Event::CpuStep(c.core));
+        }
+    }
+}
+
+#[cfg(test)]
+#[path = "system_tests.rs"]
+mod tests;

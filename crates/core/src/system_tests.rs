@@ -1,0 +1,133 @@
+//! Unit tests for the system driver.
+
+use crate::config::SystemConfig;
+use crate::ids::Addr;
+use crate::system::{RunError, System};
+use crate::trace::{CoreTrace, TraceOp, Workload};
+use crate::tracelog::{CollectSink, TraceEventKind};
+
+fn store(line: u64) -> TraceOp {
+    TraceOp::Store(Addr(line * 64))
+}
+
+fn load(line: u64) -> TraceOp {
+    TraceOp::Load(Addr(line * 64))
+}
+
+#[test]
+fn empty_workload_finishes_instantly() {
+    let wl = Workload::new("empty", vec![]);
+    let r = System::run_workload(SystemConfig::ftdircmp(), &wl).unwrap();
+    assert_eq!(r.cycles, 0);
+    assert_eq!(r.total_ops, 0);
+    assert_eq!(r.stats.total_messages(), 0);
+}
+
+#[test]
+fn think_only_workload_touches_no_memory() {
+    let wl = Workload::new(
+        "think",
+        vec![CoreTrace::new(vec![
+            TraceOp::Think(100),
+            TraceOp::Think(50),
+        ])],
+    );
+    let r = System::run_workload(SystemConfig::ftdircmp(), &wl).unwrap();
+    assert_eq!(r.total_ops, 2);
+    assert_eq!(r.total_mem_ops, 0);
+    assert_eq!(r.stats.total_messages(), 0);
+    // Retire-then-wait semantics: the final Think's delay is not part of
+    // the measured execution time.
+    assert!(r.cycles >= 100);
+}
+
+#[test]
+fn too_many_traces_is_a_config_error() {
+    let wl = Workload::new("big", vec![CoreTrace::default(); 17]);
+    match System::new(SystemConfig::ftdircmp(), &wl) {
+        Err(RunError::InvalidConfig(e)) => assert!(e.contains("17 traces")),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_config_is_rejected() {
+    let mut cfg = SystemConfig::ftdircmp();
+    cfg.tiles = 9;
+    let wl = Workload::new("x", vec![]);
+    assert!(matches!(
+        System::new(cfg, &wl),
+        Err(RunError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn trace_sink_observes_messages_and_retirements() {
+    let (sink, handle) = CollectSink::new(100_000);
+    let wl = Workload::new(
+        "traced",
+        vec![CoreTrace::new(vec![store(3), load(3), TraceOp::Think(5)])],
+    );
+    let mut sys = System::new(SystemConfig::ftdircmp(), &wl).unwrap();
+    sys.set_trace_sink(Box::new(sink));
+    let r = sys.run().unwrap();
+    assert!(r.violations.is_empty());
+    let events = handle.take();
+    let delivered = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::Delivered(_)))
+        .count();
+    let retired = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::OpRetired { .. }))
+        .count();
+    assert!(delivered >= 4, "full miss needs several messages");
+    assert_eq!(retired as u64, r.total_ops);
+    // Events are time-ordered.
+    for w in events.windows(2) {
+        assert!(w[0].at <= w[1].at);
+    }
+}
+
+#[test]
+fn report_totals_match_workload() {
+    let traces = vec![
+        CoreTrace::new(vec![store(1), store(2), load(1)]),
+        CoreTrace::new(vec![load(1), load(2), TraceOp::Think(9)]),
+    ];
+    let wl = Workload::new("totals", traces);
+    let r = System::run_workload(SystemConfig::ftdircmp(), &wl).unwrap();
+    assert_eq!(r.total_ops, 6);
+    assert_eq!(r.total_mem_ops, 5);
+    assert_eq!(r.workload, "totals");
+    assert_eq!(r.protocol, crate::config::ProtocolVariant::FtDirCmp);
+    assert_eq!(r.messages_lost, 0);
+}
+
+#[test]
+fn diagnostics_lists_inflight_state() {
+    let wl = Workload::new("d", vec![CoreTrace::new(vec![store(3)])]);
+    let sys = System::new(SystemConfig::ftdircmp(), &wl).unwrap();
+    // Nothing in flight before the run starts.
+    assert!(sys.diagnostics().is_empty());
+}
+
+#[test]
+fn relative_metrics_against_self_are_unity() {
+    let wl = Workload::new("rel", vec![CoreTrace::new(vec![store(1), load(2)])]);
+    let r = System::run_workload(SystemConfig::ftdircmp(), &wl).unwrap();
+    assert!((r.relative_execution_time(&r) - 1.0).abs() < 1e-12);
+    assert!(r.message_overhead(&r).abs() < 1e-12);
+    assert!(r.byte_overhead(&r).abs() < 1e-12);
+}
+
+#[test]
+fn same_tile_access_stays_local() {
+    // Core 3 accessing a line homed at bank 3: request/response never cross
+    // the mesh (loopback), but memory traffic does.
+    let mut traces = vec![CoreTrace::default(); 16];
+    traces[3] = CoreTrace::new(vec![load(3)]);
+    let wl = Workload::new("local", traces);
+    let r = System::run_workload(SystemConfig::ftdircmp(), &wl).unwrap();
+    assert!(r.noc.local_deliveries() >= 2, "GetS and grant are local");
+}

@@ -1,0 +1,129 @@
+//! Trace format consumed by the trace-driven cores.
+
+use crate::ids::Addr;
+
+/// One operation in a core's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Load from a byte address.
+    Load(Addr),
+    /// Store to a byte address.
+    Store(Addr),
+    /// Compute for the given number of cycles without touching memory.
+    Think(u64),
+}
+
+impl TraceOp {
+    /// The address touched, if this is a memory operation.
+    pub fn addr(self) -> Option<Addr> {
+        match self {
+            TraceOp::Load(a) | TraceOp::Store(a) => Some(a),
+            TraceOp::Think(_) => None,
+        }
+    }
+
+    /// Whether this is a memory operation.
+    pub fn is_mem(self) -> bool {
+        self.addr().is_some()
+    }
+}
+
+/// The per-core instruction stream of a workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreTrace {
+    ops: Vec<TraceOp>,
+}
+
+impl CoreTrace {
+    /// Creates a trace from a list of operations.
+    pub fn new(ops: Vec<TraceOp>) -> Self {
+        CoreTrace { ops }
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of memory operations (loads + stores).
+    pub fn mem_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_mem()).count()
+    }
+}
+
+impl FromIterator<TraceOp> for CoreTrace {
+    fn from_iter<T: IntoIterator<Item = TraceOp>>(iter: T) -> Self {
+        CoreTrace::new(iter.into_iter().collect())
+    }
+}
+
+/// A complete workload: one trace per core, plus a name for reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Workload {
+    /// Display name (e.g. the benchmark this trace models).
+    pub name: String,
+    /// One trace per core, indexed by core id.
+    pub traces: Vec<CoreTrace>,
+}
+
+impl Workload {
+    /// Creates a named workload.
+    pub fn new(name: impl Into<String>, traces: Vec<CoreTrace>) -> Self {
+        Workload {
+            name: name.into(),
+            traces,
+        }
+    }
+
+    /// Total memory operations across all cores.
+    pub fn total_mem_ops(&self) -> usize {
+        self.traces.iter().map(CoreTrace::mem_ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        assert!(TraceOp::Load(Addr(4)).is_mem());
+        assert!(TraceOp::Store(Addr(4)).is_mem());
+        assert!(!TraceOp::Think(10).is_mem());
+        assert_eq!(TraceOp::Store(Addr(8)).addr(), Some(Addr(8)));
+        assert_eq!(TraceOp::Think(10).addr(), None);
+    }
+
+    #[test]
+    fn trace_counts() {
+        let t: CoreTrace = [
+            TraceOp::Load(Addr(0)),
+            TraceOp::Think(5),
+            TraceOp::Store(Addr(64)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.mem_ops(), 2);
+        assert!(!t.is_empty());
+        assert!(CoreTrace::default().is_empty());
+    }
+
+    #[test]
+    fn workload_totals() {
+        let t = CoreTrace::new(vec![TraceOp::Load(Addr(0)); 3]);
+        let w = Workload::new("toy", vec![t.clone(), t]);
+        assert_eq!(w.total_mem_ops(), 6);
+        assert_eq!(w.name, "toy");
+    }
+}

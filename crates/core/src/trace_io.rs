@@ -1,0 +1,268 @@
+//! Plain-text serialization of workload traces.
+//!
+//! Trace-driven simulators live and die by their trace files; this module
+//! defines a minimal line-based format so workloads can be generated once,
+//! archived, and replayed (or written by external tools):
+//!
+//! ```text
+//! # ftdircmp trace v1
+//! workload <name>
+//! core <index>
+//! L <hex byte address>      # load
+//! S <hex byte address>      # store
+//! T <cycles>                # think
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ftdircmp_core::trace::{CoreTrace, TraceOp, Workload};
+//! use ftdircmp_core::trace_io;
+//! use ftdircmp_core::ids::Addr;
+//!
+//! let wl = Workload::new("demo", vec![CoreTrace::new(vec![
+//!     TraceOp::Load(Addr(0x40)),
+//!     TraceOp::Think(10),
+//! ])]);
+//! let text = trace_io::to_string(&wl);
+//! let back = trace_io::from_str(&text)?;
+//! assert_eq!(back, wl);
+//! # Ok::<(), ftdircmp_core::trace_io::ParseTraceError>(())
+//! ```
+
+use std::fmt;
+
+use crate::ids::Addr;
+use crate::trace::{CoreTrace, TraceOp, Workload};
+
+/// Error parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    reason: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, reason: impl Into<String>) -> Self {
+        ParseTraceError {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes a workload to the text format.
+pub fn to_string(workload: &Workload) -> String {
+    let mut out = String::from("# ftdircmp trace v1\n");
+    out.push_str(&format!("workload {}\n", workload.name));
+    for (i, trace) in workload.traces.iter().enumerate() {
+        out.push_str(&format!("core {i}\n"));
+        for op in trace.ops() {
+            match op {
+                TraceOp::Load(a) => out.push_str(&format!("L {:x}\n", a.0)),
+                TraceOp::Store(a) => out.push_str(&format!("S {:x}\n", a.0)),
+                TraceOp::Think(n) => out.push_str(&format!("T {n}\n")),
+            }
+        }
+    }
+    out
+}
+
+/// Parses a workload from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed lines, unknown directives,
+/// out-of-order core indices, or operations before the first `core` line.
+pub fn from_str(text: &str) -> Result<Workload, ParseTraceError> {
+    let mut name = String::from("unnamed");
+    let mut traces: Vec<CoreTrace> = Vec::new();
+    let mut current: Option<Vec<TraceOp>> = None;
+
+    let flush = |traces: &mut Vec<CoreTrace>, current: &mut Option<Vec<TraceOp>>| {
+        if let Some(ops) = current.take() {
+            traces.push(CoreTrace::new(ops));
+        }
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (word, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match word {
+            "workload" => {
+                if rest.is_empty() {
+                    return Err(ParseTraceError::new(lineno, "workload needs a name"));
+                }
+                name = rest.to_string();
+            }
+            "core" => {
+                let idx: usize = rest
+                    .parse()
+                    .map_err(|_| ParseTraceError::new(lineno, "core needs an index"))?;
+                flush(&mut traces, &mut current);
+                if idx != traces.len() {
+                    return Err(ParseTraceError::new(
+                        lineno,
+                        format!("expected core {} next, got {idx}", traces.len()),
+                    ));
+                }
+                current = Some(Vec::new());
+            }
+            "L" | "S" => {
+                let addr = u64::from_str_radix(rest, 16)
+                    .map_err(|_| ParseTraceError::new(lineno, "bad hex address"))?;
+                let op = if word == "L" {
+                    TraceOp::Load(Addr(addr))
+                } else {
+                    TraceOp::Store(Addr(addr))
+                };
+                current
+                    .as_mut()
+                    .ok_or_else(|| ParseTraceError::new(lineno, "op before any `core` line"))?
+                    .push(op);
+            }
+            "T" => {
+                let n: u64 = rest
+                    .parse()
+                    .map_err(|_| ParseTraceError::new(lineno, "bad think duration"))?;
+                current
+                    .as_mut()
+                    .ok_or_else(|| ParseTraceError::new(lineno, "op before any `core` line"))?
+                    .push(TraceOp::Think(n));
+            }
+            other => {
+                return Err(ParseTraceError::new(
+                    lineno,
+                    format!("unknown directive {other:?}"),
+                ));
+            }
+        }
+    }
+    flush(&mut traces, &mut current);
+    Ok(Workload::new(name, traces))
+}
+
+/// Writes a workload to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file(workload: &Workload, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_string(workload))
+}
+
+/// Reads a workload from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors; parse errors are wrapped as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Workload> {
+    let text = std::fs::read_to_string(path)?;
+    from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workload {
+        Workload::new(
+            "sample",
+            vec![
+                CoreTrace::new(vec![
+                    TraceOp::Load(Addr(0x40)),
+                    TraceOp::Store(Addr(0x1f80)),
+                    TraceOp::Think(25),
+                ]),
+                CoreTrace::new(vec![TraceOp::Store(Addr(0))]),
+                CoreTrace::default(),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let wl = sample();
+        let text = to_string(&wl);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, wl);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\nworkload x\n\ncore 0\nL 40 # trailing comment\n\nT 3\n";
+        let wl = from_str(text).unwrap();
+        assert_eq!(wl.name, "x");
+        assert_eq!(
+            wl.traces[0].ops(),
+            &[TraceOp::Load(Addr(0x40)), TraceOp::Think(3)]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_str("workload x\ncore 0\nL zzz\n").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("bad hex address"));
+    }
+
+    #[test]
+    fn ops_before_core_are_rejected() {
+        let err = from_str("workload x\nL 40\n").unwrap_err();
+        assert!(err.to_string().contains("before any"));
+    }
+
+    #[test]
+    fn cores_must_be_sequential() {
+        let err = from_str("core 0\ncore 2\n").unwrap_err();
+        assert!(err.to_string().contains("expected core 1"));
+    }
+
+    #[test]
+    fn unknown_directives_are_rejected() {
+        assert!(from_str("bogus 1\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let wl = sample();
+        let dir = std::env::temp_dir().join("ftdircmp-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        write_file(&wl, &path).unwrap();
+        assert_eq!(read_file(&path).unwrap(), wl);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generated_suite_roundtrips() {
+        // Make sure real generator output survives the format.
+        let text = to_string(&sample());
+        assert!(text.starts_with("# ftdircmp trace v1"));
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.total_mem_ops(), sample().total_mem_ops());
+    }
+}

@@ -1,0 +1,148 @@
+//! Model-based property tests for the core data structures.
+
+use std::collections::HashMap;
+
+use ftdircmp_core::cache::SetAssocCache;
+use ftdircmp_core::ids::Addr;
+use ftdircmp_core::trace::{CoreTrace, TraceOp, Workload};
+use ftdircmp_core::trace_io;
+use ftdircmp_core::LineAddr;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert(u64, u32),
+    Remove(u64),
+    Get(u64),
+    Touch(u64),
+}
+
+fn arb_cache_op() -> impl Strategy<Value = CacheOp> {
+    (0u8..4, 0u64..48, 0u32..1000).prop_map(|(k, addr, val)| match k {
+        0 => CacheOp::Insert(addr, val),
+        1 => CacheOp::Remove(addr),
+        2 => CacheOp::Get(addr),
+        _ => CacheOp::Touch(addr),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The cache behaves like a map: every key it claims to hold returns
+    /// the last value written for it, and (with an always-evictable policy)
+    /// nothing is ever silently lost without an eviction notice.
+    #[test]
+    fn cache_is_a_faithful_lossy_map(
+        ops in proptest::collection::vec(arb_cache_op(), 1..200),
+        sets in 1u64..8,
+        assoc in 1u32..5,
+    ) {
+        let mut cache: SetAssocCache<u32> = SetAssocCache::new(sets, assoc);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                CacheOp::Insert(a, v) => {
+                    if model.contains_key(&a) {
+                        continue; // double insert panics by design
+                    }
+                    let out = cache.insert(LineAddr(a), v, |_, _| true);
+                    model.insert(a, v);
+                    if let Some((victim, _)) = out.evicted {
+                        model.remove(&victim.0);
+                    }
+                    prop_assert!(!out.overflowed, "always-evictable never overflows");
+                }
+                CacheOp::Remove(a) => {
+                    let got = cache.remove(LineAddr(a));
+                    let expect = model.remove(&a);
+                    prop_assert_eq!(got, expect);
+                }
+                CacheOp::Get(a) => {
+                    prop_assert_eq!(cache.get(LineAddr(a)), model.get(&a));
+                }
+                CacheOp::Touch(a) => {
+                    let got = cache.get_mut(LineAddr(a)).map(|v| *v);
+                    prop_assert_eq!(got, model.get(&a).copied());
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+
+    /// With a never-evict policy, nothing is ever lost: the overflow buffer
+    /// absorbs the surplus and every line stays retrievable.
+    #[test]
+    fn pinned_cache_never_loses_lines(
+        addrs in proptest::collection::hash_set(0u64..64, 1..40),
+        sets in 1u64..4,
+        assoc in 1u32..3,
+    ) {
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(sets, assoc);
+        for &a in &addrs {
+            let out = cache.insert(LineAddr(a), a * 10, |_, _| false);
+            prop_assert!(out.evicted.is_none());
+        }
+        for &a in &addrs {
+            prop_assert_eq!(cache.get(LineAddr(a)), Some(&(a * 10)));
+        }
+        prop_assert_eq!(cache.len(), addrs.len());
+        prop_assert!(cache.overflow_peak() <= addrs.len());
+    }
+
+    /// Any workload survives a serialization roundtrip bit-for-bit.
+    #[test]
+    fn trace_io_roundtrips_arbitrary_workloads(
+        per_core in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u64..1_000_000), 0..50),
+            0..6,
+        ),
+        name in "[a-zA-Z][a-zA-Z0-9_-]{0,20}",
+    ) {
+        let traces: Vec<CoreTrace> = per_core
+            .into_iter()
+            .map(|ops| {
+                CoreTrace::new(
+                    ops.into_iter()
+                        .map(|(k, v)| match k {
+                            0 => TraceOp::Load(Addr(v)),
+                            1 => TraceOp::Store(Addr(v)),
+                            _ => TraceOp::Think(v),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let wl = Workload::new(name, traces);
+        let back = trace_io::from_str(&trace_io::to_string(&wl)).unwrap();
+        prop_assert_eq!(back, wl);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The trace parser never panics, whatever bytes it is fed.
+    #[test]
+    fn trace_parser_never_panics(input in "\\PC{0,400}") {
+        let _ = trace_io::from_str(&input);
+    }
+
+    /// Structured garbage (valid-looking directives with junk operands)
+    /// yields errors with line numbers, never panics.
+    #[test]
+    fn trace_parser_rejects_gracefully(
+        lines in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "L xyz", "S", "T -4", "core banana", "workload", "flush 3", "L 40 extra",
+            ]),
+            1..10,
+        ),
+    ) {
+        let text = lines.join("\n");
+        if let Err(e) = trace_io::from_str(&text) {
+            prop_assert!(e.line() >= 1);
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}

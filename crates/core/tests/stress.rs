@@ -1,0 +1,223 @@
+//! Randomized stress sweep: many seeds × fault rates × burstiness, checking
+//! completion and every invariant on each run.
+//!
+//! The default sweep is sized to stay fast in CI; set `FTDIRCMP_STRESS=big`
+//! for a deeper hunt.
+
+use ftdircmp_core::ids::Addr;
+use ftdircmp_core::trace::{CoreTrace, TraceOp, Workload};
+use ftdircmp_core::{System, SystemConfig};
+use ftdircmp_noc::FaultConfig;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Workload with deliberately nasty sharing: a hot set of contended lines
+/// plus a private region, mixing loads, stores and short thinks.
+fn contended_workload(seed: u64, cores: u8, ops: usize, hot_lines: u64) -> Workload {
+    let mut traces = Vec::new();
+    for c in 0..cores {
+        let mut st = seed ^ (u64::from(c) + 1).wrapping_mul(0x2545F4914F6CDD1D);
+        let mut v = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let r = xorshift(&mut st);
+            let line = if r.is_multiple_of(4) {
+                // Private region per core.
+                1000 + u64::from(c) * 64 + (r >> 8) % 16
+            } else {
+                // Hot contended region.
+                (r >> 8) % hot_lines
+            };
+            let a = Addr(line * 64);
+            if r.is_multiple_of(3) {
+                v.push(TraceOp::Store(a));
+            } else {
+                v.push(TraceOp::Load(a));
+            }
+            if r.is_multiple_of(11) {
+                v.push(TraceOp::Think(r % 30));
+            }
+        }
+        traces.push(CoreTrace::new(v));
+    }
+    Workload::new("stress", traces)
+}
+
+fn check(cfg: SystemConfig, wl: &Workload, label: &str) {
+    match System::run_workload(cfg, wl) {
+        Ok(r) => {
+            assert!(
+                r.violations.is_empty(),
+                "[{label}] violations: {:#?}",
+                r.violations
+            );
+            assert_eq!(
+                r.total_mem_ops as usize,
+                wl.total_mem_ops(),
+                "[{label}] lost operations"
+            );
+        }
+        Err(e) => panic!("[{label}] {e}"),
+    }
+}
+
+fn sweep_size() -> u64 {
+    if std::env::var("FTDIRCMP_STRESS").as_deref() == Ok("big") {
+        40
+    } else {
+        8
+    }
+}
+
+#[test]
+fn ftdircmp_stress_isolated_faults() {
+    for seed in 0..sweep_size() {
+        for rate in [0.0, 1000.0, 10_000.0, 50_000.0] {
+            let wl = contended_workload(seed.wrapping_mul(31) + 7, 8, 120, 12);
+            let mut cfg = SystemConfig::ftdircmp()
+                .with_fault_rate(rate)
+                .with_seed(seed * 1000 + rate as u64);
+            cfg.watchdog_cycles = 3_000_000;
+            check(cfg, &wl, &format!("seed={seed} rate={rate}"));
+        }
+    }
+}
+
+#[test]
+fn ftdircmp_stress_bursty_faults() {
+    for seed in 0..sweep_size() {
+        let wl = contended_workload(seed.wrapping_mul(17) + 3, 8, 120, 12);
+        let mut cfg = SystemConfig::ftdircmp().with_seed(seed + 5000);
+        cfg.mesh.faults = FaultConfig::bursts(5000.0, 0.6, 6);
+        cfg.watchdog_cycles = 3_000_000;
+        check(cfg, &wl, &format!("bursty seed={seed}"));
+    }
+}
+
+#[test]
+fn ftdircmp_stress_short_timeouts_many_false_positives() {
+    // Aggressively short timeouts cause reissues even without faults; serial
+    // numbers must keep every run coherent (paper §3.5, Figure 2).
+    for seed in 0..sweep_size() {
+        let wl = contended_workload(seed.wrapping_mul(13) + 1, 8, 120, 10);
+        let mut cfg = SystemConfig::ftdircmp().with_seed(seed + 900);
+        cfg.ft.lost_request_timeout = 150;
+        cfg.ft.lost_unblock_timeout = 150;
+        cfg.ft.lost_ackbd_timeout = 120;
+        cfg.ft.lost_data_timeout = 300;
+        cfg.watchdog_cycles = 3_000_000;
+        check(cfg, &wl, &format!("short-timeouts seed={seed}"));
+    }
+}
+
+#[test]
+fn ftdircmp_stress_short_timeouts_plus_faults() {
+    for seed in 0..sweep_size() {
+        let wl = contended_workload(seed.wrapping_mul(41) + 11, 8, 100, 10);
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_fault_rate(20_000.0)
+            .with_seed(seed + 31);
+        cfg.ft.lost_request_timeout = 400;
+        cfg.ft.lost_unblock_timeout = 400;
+        cfg.ft.lost_ackbd_timeout = 300;
+        cfg.ft.lost_data_timeout = 800;
+        cfg.watchdog_cycles = 3_000_000;
+        check(cfg, &wl, &format!("short+faults seed={seed}"));
+    }
+}
+
+#[test]
+fn ftdircmp_stress_narrow_serials() {
+    // Paper §3.5: with n-bit serials, a request must be reissued 2^n times
+    // before a stale response can possibly be accepted. The protocol is
+    // therefore only *probabilistically* safe for small n; these parameter
+    // ranges keep reissue chains well below 2^n (exponential backoff makes
+    // long chains vanishingly rare), where safety is guaranteed.
+    for seed in 0..sweep_size() {
+        // 4-bit serials under real losses: chains of 16 reissues are
+        // unreachable with backoff.
+        let wl = contended_workload(seed.wrapping_mul(23) + 9, 8, 100, 10);
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_fault_rate(5_000.0)
+            .with_seed(seed + 77);
+        cfg.ft.serial_bits = 4;
+        cfg.watchdog_cycles = 3_000_000;
+        check(cfg, &wl, &format!("serial4 seed={seed}"));
+
+        // 2-bit serials at a low fault rate: 4-long reissue chains require
+        // several consecutive losses of the same transaction (~1e-12).
+        let wl = contended_workload(seed.wrapping_mul(19) + 3, 8, 100, 10);
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_fault_rate(500.0)
+            .with_seed(seed + 177);
+        cfg.ft.serial_bits = 2;
+        cfg.watchdog_cycles = 3_000_000;
+        check(cfg, &wl, &format!("serial2 seed={seed}"));
+    }
+}
+
+#[test]
+fn ftdircmp_stress_chaos_jitter_reorders_messages() {
+    // Random per-message delays break every ordering assumption; only the
+    // serial-number machinery keeps this coherent (like adaptive routing,
+    // but more aggressive).
+    for seed in 0..sweep_size() {
+        let wl = contended_workload(seed.wrapping_mul(53) + 17, 8, 100, 10);
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_fault_rate(2000.0)
+            .with_seed(seed + 7070);
+        cfg.mesh.jitter_cycles = 400;
+        cfg.watchdog_cycles = 4_000_000;
+        check(cfg, &wl, &format!("jitter seed={seed}"));
+    }
+}
+
+#[test]
+fn dircmp_stress_fault_free() {
+    for seed in 0..sweep_size() {
+        let wl = contended_workload(seed.wrapping_mul(29) + 5, 8, 120, 12);
+        let cfg = SystemConfig::dircmp().with_seed(seed);
+        check(cfg, &wl, &format!("dircmp seed={seed}"));
+    }
+}
+
+#[test]
+fn small_caches_force_constant_evictions() {
+    // Tiny L1 and L2 push the eviction, recall and L2-writeback paths hard.
+    for seed in 0..sweep_size() {
+        let wl = contended_workload(seed.wrapping_mul(37) + 13, 8, 120, 40);
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_fault_rate(2_000.0)
+            .with_seed(seed + 404);
+        cfg.l1_bytes = 2 * 1024; // 8 sets x 4 ways
+        cfg.l2_bank_bytes = 4 * 1024; // 8 sets x 8 ways
+        cfg.watchdog_cycles = 3_000_000;
+        check(cfg, &wl, &format!("tiny-caches seed={seed}"));
+    }
+}
+
+#[test]
+fn nonblocking_cores_stress() {
+    // Several outstanding misses per core multiply the concurrent
+    // transactions per L1; all invariants must hold, with and without
+    // faults.
+    for seed in 0..sweep_size() {
+        for window in [2u8, 4, 8] {
+            let wl = contended_workload(seed.wrapping_mul(61) + 19, 8, 100, 12);
+            let mut cfg = SystemConfig::ftdircmp()
+                .with_fault_rate(3000.0)
+                .with_seed(seed + 9000 + u64::from(window));
+            cfg.max_outstanding_misses = window;
+            cfg.watchdog_cycles = 3_000_000;
+            check(cfg, &wl, &format!("mlp w={window} seed={seed}"));
+
+            let mut dir_cfg = SystemConfig::dircmp().with_seed(seed + 9100);
+            dir_cfg.max_outstanding_misses = window;
+            check(dir_cfg, &wl, &format!("mlp-dir w={window} seed={seed}"));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Transient-fault injection.
+//!
+//! Implements the paper's fault model (§3): the network either delivers a
+//! message correctly or not at all. Corrupted messages are assumed to be
+//! detected by a per-message CRC and discarded at the receiver, which is
+//! equivalent to a loss, so the injector only ever *drops* messages.
+//!
+//! Fault rates follow the paper's evaluation, expressed as **messages lost
+//! per million messages** traversing the network. Faults may be isolated or
+//! arrive in bursts (§3: "either an isolated one or a burst of them").
+
+use ftdircmp_sim::DetRng;
+
+use crate::VcClass;
+
+/// Fault-injection configuration.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_noc::FaultConfig;
+///
+/// let none = FaultConfig::none();
+/// assert_eq!(none.loss_per_million, 0.0);
+/// let heavy = FaultConfig::per_million(2000.0);
+/// assert!(heavy.loss_per_million > none.loss_per_million);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Expected number of lost messages per million network messages.
+    pub loss_per_million: f64,
+    /// Probability that a loss extends to the next message as well
+    /// (geometric burst length). `0.0` means isolated single-message losses.
+    pub burst_continue: f64,
+    /// Hard cap on burst length.
+    pub burst_cap: u64,
+    /// Restrict losses to these virtual-channel classes (`None` = any).
+    /// Targeted injection isolates which message kinds each recovery
+    /// mechanism covers (the per-class vulnerability study).
+    pub only_classes: Option<Vec<VcClass>>,
+    /// Deterministic schedule: drop exactly the messages with these 0-based
+    /// injection indices (message order is deterministic given the seed).
+    /// Overrides the probabilistic rate. Enables exhaustive single-fault
+    /// sweeps: "for every message in this run, losing exactly that message
+    /// is recovered".
+    pub drop_indices: Option<Vec<u64>>,
+}
+
+impl FaultConfig {
+    /// No faults: the network is reliable (DirCMP's required environment).
+    pub fn none() -> Self {
+        FaultConfig {
+            loss_per_million: 0.0,
+            burst_continue: 0.0,
+            burst_cap: 0,
+            only_classes: None,
+            drop_indices: None,
+        }
+    }
+
+    /// Isolated losses at `rate` messages per million.
+    pub fn per_million(rate: f64) -> Self {
+        FaultConfig {
+            loss_per_million: rate,
+            burst_continue: 0.0,
+            burst_cap: 0,
+            only_classes: None,
+            drop_indices: None,
+        }
+    }
+
+    /// Bursty losses: `rate` burst *starts* per million messages, each burst
+    /// continuing with probability `burst_continue` up to `burst_cap` extra
+    /// messages.
+    pub fn bursts(rate: f64, burst_continue: f64, burst_cap: u64) -> Self {
+        FaultConfig {
+            loss_per_million: rate,
+            burst_continue,
+            burst_cap,
+            only_classes: None,
+            drop_indices: None,
+        }
+    }
+
+    /// Targets losses at specific message classes only.
+    pub fn targeting(rate: f64, classes: Vec<VcClass>) -> Self {
+        FaultConfig {
+            loss_per_million: rate,
+            burst_continue: 0.0,
+            burst_cap: 0,
+            only_classes: Some(classes),
+            drop_indices: None,
+        }
+    }
+
+    /// Drops exactly the messages at the given 0-based injection indices.
+    pub fn drop_exactly(indices: Vec<u64>) -> Self {
+        FaultConfig {
+            loss_per_million: 0.0,
+            burst_continue: 0.0,
+            burst_cap: 0,
+            only_classes: None,
+            drop_indices: Some(indices),
+        }
+    }
+
+    /// Whether this configuration can ever drop a message.
+    pub fn is_faulty(&self) -> bool {
+        self.loss_per_million > 0.0 || self.drop_indices.as_ref().is_some_and(|v| !v.is_empty())
+    }
+
+    /// Whether messages of `class` are eligible for injection.
+    pub fn targets(&self, class: VcClass) -> bool {
+        self.only_classes
+            .as_ref()
+            .is_none_or(|cs| cs.contains(&class))
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// Stateful fault injector: decides, per message, whether the network loses
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_noc::{FaultConfig, FaultInjector};
+/// use ftdircmp_sim::DetRng;
+///
+/// let mut inj = FaultInjector::new(FaultConfig::per_million(500_000.0), DetRng::from_seed(9));
+/// let drops = (0..1000).filter(|_| inj.should_drop()).count();
+/// assert!(drops > 300 && drops < 700, "≈50% loss expected, got {drops}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: DetRng,
+    burst_remaining: u64,
+    messages_seen: u64,
+    messages_dropped: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with its own random stream.
+    pub fn new(config: FaultConfig, rng: DetRng) -> Self {
+        FaultInjector {
+            config,
+            rng,
+            burst_remaining: 0,
+            messages_seen: 0,
+            messages_dropped: 0,
+        }
+    }
+
+    /// Decides whether the next message (of `class`) is lost.
+    pub fn should_drop_class(&mut self, class: VcClass) -> bool {
+        if !self.config.targets(class) {
+            self.messages_seen += 1;
+            return false;
+        }
+        self.should_drop()
+    }
+
+    /// Decides whether the next message is lost.
+    pub fn should_drop(&mut self) -> bool {
+        // Deterministic schedule takes precedence.
+        if let Some(indices) = &self.config.drop_indices {
+            let index = self.messages_seen;
+            self.messages_seen += 1;
+            if indices.contains(&index) {
+                self.messages_dropped += 1;
+                return true;
+            }
+            return false;
+        }
+        self.messages_seen += 1;
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            self.messages_dropped += 1;
+            return true;
+        }
+        if !self.config.is_faulty() {
+            return false;
+        }
+        let p = (self.config.loss_per_million / 1_000_000.0).clamp(0.0, 1.0);
+        if self.rng.chance(p) {
+            if self.config.burst_continue > 0.0 {
+                self.burst_remaining = self
+                    .rng
+                    .geometric(self.config.burst_continue, self.config.burst_cap);
+            }
+            self.messages_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Messages examined so far.
+    pub fn messages_seen(&self) -> u64 {
+        self.messages_seen
+    }
+
+    /// Messages dropped so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_never_drops() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), DetRng::from_seed(1));
+        for _ in 0..10_000 {
+            assert!(!inj.should_drop());
+        }
+        assert_eq!(inj.messages_dropped(), 0);
+        assert_eq!(inj.messages_seen(), 10_000);
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        // 100_000 per million = 10% loss.
+        let mut inj = FaultInjector::new(FaultConfig::per_million(100_000.0), DetRng::from_seed(2));
+        let drops = (0..50_000).filter(|_| inj.should_drop()).count();
+        let rate = drops as f64 / 50_000.0;
+        assert!((0.08..0.12).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn bursts_drop_consecutive_messages() {
+        // Burst starts almost never except when they do; force with high rate.
+        let cfg = FaultConfig::bursts(1_000_000.0, 1.0, 3);
+        let mut inj = FaultInjector::new(cfg, DetRng::from_seed(3));
+        // First message starts a burst (p=1), next 3 are dropped by the burst.
+        assert!(inj.should_drop());
+        assert!(inj.should_drop());
+        assert!(inj.should_drop());
+        assert!(inj.should_drop());
+        assert_eq!(inj.messages_dropped(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = FaultConfig::per_million(50_000.0);
+        let mut a = FaultInjector::new(cfg.clone(), DetRng::from_seed(7));
+        let mut b = FaultInjector::new(cfg, DetRng::from_seed(7));
+        for _ in 0..1000 {
+            assert_eq!(a.should_drop(), b.should_drop());
+        }
+    }
+
+    #[test]
+    fn targeted_injection_spares_other_classes() {
+        let cfg = FaultConfig::targeting(1_000_000.0, vec![VcClass::Response]);
+        let mut inj = FaultInjector::new(cfg, DetRng::from_seed(4));
+        assert!(!inj.should_drop_class(VcClass::Request));
+        assert!(!inj.should_drop_class(VcClass::Unblock));
+        assert!(inj.should_drop_class(VcClass::Response));
+        assert_eq!(inj.messages_seen(), 3);
+        assert_eq!(inj.messages_dropped(), 1);
+    }
+
+    #[test]
+    fn untargeted_config_targets_everything() {
+        let cfg = FaultConfig::per_million(10.0);
+        for c in VcClass::ALL {
+            assert!(cfg.targets(c));
+        }
+        let t = FaultConfig::targeting(10.0, vec![VcClass::Ping]);
+        assert!(t.targets(VcClass::Ping));
+        assert!(!t.targets(VcClass::Forward));
+    }
+
+    #[test]
+    fn deterministic_schedule_drops_exactly_the_named_messages() {
+        let cfg = FaultConfig::drop_exactly(vec![0, 3]);
+        assert!(cfg.is_faulty());
+        let mut inj = FaultInjector::new(cfg, DetRng::from_seed(1));
+        let pattern: Vec<bool> = (0..6).map(|_| inj.should_drop()).collect();
+        assert_eq!(pattern, vec![true, false, false, true, false, false]);
+        assert_eq!(inj.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn is_faulty_flags() {
+        assert!(!FaultConfig::none().is_faulty());
+        assert!(FaultConfig::per_million(1.0).is_faulty());
+        assert!(!FaultConfig::default().is_faulty());
+    }
+}

@@ -1,0 +1,529 @@
+//! The mesh network model.
+
+use ftdircmp_sim::{Cycle, DetRng};
+
+use crate::{FaultConfig, FaultInjector, NocStats, RouterId, Topology, VcClass};
+
+/// How messages are routed through the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Dimension-ordered (XY) routing. Deterministic paths give the
+    /// point-to-point **ordered** network DirCMP assumes (paper §2).
+    #[default]
+    DimensionOrdered,
+    /// Randomized minimal adaptive routing: an **unordered** network, the
+    /// extension of paper §2 / its reference 6. Only FtDirCMP (with serial numbers)
+    /// tolerates this mode.
+    Adaptive,
+}
+
+/// Mesh timing parameters.
+///
+/// Defaults model the paper's Table 4 network: 4×4 mesh, 8-byte control
+/// messages / 72-byte data messages (sizes live in the protocol crate),
+/// multi-gigabyte link bandwidth expressed as bytes per cycle, and a few
+/// cycles of router pipeline per hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshConfig {
+    /// Mesh columns.
+    pub width: u16,
+    /// Mesh rows.
+    pub height: u16,
+    /// Link bandwidth in bytes per cycle (serialization: `ceil(size/bw)`).
+    pub link_bytes_per_cycle: u32,
+    /// Router pipeline latency per hop, in cycles.
+    pub router_latency: u64,
+    /// Latency of a same-router (loopback) delivery, in cycles.
+    pub local_latency: u64,
+    /// Routing mode.
+    pub routing: RoutingMode,
+    /// Fault injection configuration.
+    pub faults: FaultConfig,
+    /// Chaos testing: add a uniformly random extra delay of up to this many
+    /// cycles to every delivery. Nonzero jitter breaks point-to-point
+    /// ordering (like adaptive routing), so only FtDirCMP tolerates it; the
+    /// stress suite uses it to explore message reorderings.
+    pub jitter_cycles: u64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            width: 4,
+            height: 4,
+            link_bytes_per_cycle: 16,
+            router_latency: 4,
+            local_latency: 1,
+            routing: RoutingMode::DimensionOrdered,
+            faults: FaultConfig::none(),
+            jitter_cycles: 0,
+        }
+    }
+}
+
+/// Result of injecting a message into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message will arrive at the destination at the given cycle.
+    Delivered {
+        /// Arrival time at the destination's network interface.
+        at: Cycle,
+    },
+    /// A transient fault lost the message; it will never arrive.
+    Dropped,
+}
+
+impl SendOutcome {
+    /// Arrival time if delivered.
+    pub fn delivered_at(self) -> Option<Cycle> {
+        match self {
+            SendOutcome::Delivered { at } => Some(at),
+            SendOutcome::Dropped => None,
+        }
+    }
+
+    /// Whether the message was lost.
+    pub fn is_dropped(self) -> bool {
+        matches!(self, SendOutcome::Dropped)
+    }
+}
+
+/// The on-chip network: a timing-and-fault oracle for message delivery.
+///
+/// [`Mesh::send`] walks the message's route, reserving bandwidth on each
+/// link (per-link FIFO reservation), and returns the arrival cycle. Because
+/// XY routes are deterministic and link reservations are made in send order,
+/// delivery between any `(source, destination)` pair is FIFO — the ordered
+/// network of the paper's base architecture. Adaptive mode deliberately
+/// breaks this property.
+///
+/// Messages between co-located nodes (same router) use a fixed local latency
+/// and are exempt from fault injection: they never traverse a mesh link, and
+/// the paper's fault model concerns the interconnection network only.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    topology: Topology,
+    config: MeshConfig,
+    link_free: Vec<Cycle>,
+    link_busy: Vec<u64>,
+    fault: FaultInjector,
+    route_rng: DetRng,
+    jitter_rng: DetRng,
+    stats: NocStats,
+}
+
+impl Mesh {
+    /// Creates a mesh from a configuration and a deterministic random stream
+    /// (used for fault injection and adaptive route selection).
+    pub fn new(config: MeshConfig, rng: DetRng) -> Self {
+        let topology = Topology::new(config.width, config.height);
+        let link_free = vec![Cycle::ZERO; topology.link_slots()];
+        let link_busy = vec![0u64; topology.link_slots()];
+        let fault = FaultInjector::new(config.faults.clone(), rng.fork("fault-injector"));
+        let route_rng = rng.fork("adaptive-routes");
+        let jitter_rng = rng.fork("jitter");
+        Mesh {
+            topology,
+            config,
+            link_free,
+            link_busy,
+            fault,
+            route_rng,
+            jitter_rng,
+            stats: NocStats::new(),
+        }
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Traffic statistics collected so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Fault-injection counters.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
+    /// Injects a message of `size_bytes` at `now` from `src` to `dst` on
+    /// virtual-channel class `class`.
+    ///
+    /// Returns the arrival cycle, or [`SendOutcome::Dropped`] if a transient
+    /// fault lost the message. Dropped messages still consume the bandwidth
+    /// they used before being lost (the reservation is made either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is outside the mesh.
+    pub fn send(
+        &mut self,
+        now: Cycle,
+        src: RouterId,
+        dst: RouterId,
+        size_bytes: u32,
+        class: VcClass,
+    ) -> SendOutcome {
+        assert!(
+            src.index() < self.topology.router_count(),
+            "src {src} out of range"
+        );
+        assert!(
+            dst.index() < self.topology.router_count(),
+            "dst {dst} out of range"
+        );
+
+        if src == dst {
+            self.stats.record_local();
+            return SendOutcome::Delivered {
+                at: now + self.config.local_latency,
+            };
+        }
+
+        let path = match self.config.routing {
+            RoutingMode::DimensionOrdered => self.topology.route_xy(src, dst),
+            RoutingMode::Adaptive => self.topology.route_adaptive(src, dst, &mut self.route_rng),
+        };
+        let ser = serialization_cycles(size_bytes, self.config.link_bytes_per_cycle);
+
+        let mut arrive = now;
+        for link in &path {
+            let idx = link.dense_index();
+            let depart = arrive.max(self.link_free[idx]);
+            self.link_free[idx] = depart + ser;
+            self.link_busy[idx] += ser;
+            arrive = depart + ser + self.config.router_latency;
+        }
+
+        if self.fault.should_drop_class(class) {
+            self.stats.record_dropped(class, size_bytes);
+            return SendOutcome::Dropped;
+        }
+
+        if self.config.jitter_cycles > 0 {
+            arrive += self.jitter_rng.below(self.config.jitter_cycles + 1);
+        }
+
+        let latency = arrive - now;
+        self.stats
+            .record_sent(class, size_bytes, path.len() as u32, latency);
+        SendOutcome::Delivered { at: arrive }
+    }
+
+    /// Busy cycles accumulated per link (dense index order).
+    pub fn link_busy_cycles(&self) -> &[u64] {
+        &self.link_busy
+    }
+
+    /// Utilization of the busiest link over `elapsed` cycles (0.0..=1.0).
+    pub fn max_link_utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let max = self.link_busy.iter().copied().max().unwrap_or(0);
+        (max as f64 / elapsed as f64).min(1.0)
+    }
+
+    /// Mean utilization across links that exist and carried traffic.
+    pub fn mean_link_utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let used: Vec<u64> = self.link_busy.iter().copied().filter(|b| *b > 0).collect();
+        if used.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = used.iter().sum();
+        (sum as f64 / used.len() as f64 / elapsed as f64).min(1.0)
+    }
+
+    /// Zero-load latency for a message of `size_bytes` over `hops` hops
+    /// (useful for calibrating protocol timeouts against the network).
+    pub fn zero_load_latency(&self, hops: u32, size_bytes: u32) -> u64 {
+        let ser = serialization_cycles(size_bytes, self.config.link_bytes_per_cycle);
+        u64::from(hops) * (ser + self.config.router_latency)
+    }
+
+    /// Worst-case zero-load latency across the mesh for a message of
+    /// `size_bytes` (corner to corner).
+    pub fn max_zero_load_latency(&self, size_bytes: u32) -> u64 {
+        let hops = u32::from(self.config.width - 1) + u32::from(self.config.height - 1);
+        self.zero_load_latency(hops, size_bytes)
+    }
+}
+
+fn serialization_cycles(size_bytes: u32, bytes_per_cycle: u32) -> u64 {
+    u64::from(size_bytes.div_ceil(bytes_per_cycle.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(MeshConfig::default(), DetRng::from_seed(42))
+    }
+
+    fn faulty_mesh(rate: f64) -> Mesh {
+        let config = MeshConfig {
+            faults: FaultConfig::per_million(rate),
+            ..MeshConfig::default()
+        };
+        Mesh::new(config, DetRng::from_seed(42))
+    }
+
+    #[test]
+    fn zero_load_latency_matches_formula() {
+        let m = mesh();
+        // 8 bytes over 16 B/cycle = 1 cycle serialization + 4 router cycles per hop.
+        assert_eq!(m.zero_load_latency(3, 8), 3 * (1 + 4));
+        // 72 bytes = 5 cycles serialization.
+        assert_eq!(m.zero_load_latency(1, 72), 5 + 4);
+    }
+
+    #[test]
+    fn delivery_time_is_zero_load_when_uncontended() {
+        let mut m = mesh();
+        let out = m.send(
+            Cycle::ZERO,
+            RouterId::new(0),
+            RouterId::new(3),
+            8,
+            VcClass::Request,
+        );
+        assert_eq!(out.delivered_at(), Some(Cycle::new(3 * 5)));
+    }
+
+    #[test]
+    fn local_delivery_uses_local_latency_and_skips_faults() {
+        // 100% loss rate, but local messages never traverse the network.
+        let mut m = faulty_mesh(1_000_000.0);
+        let out = m.send(
+            Cycle::new(5),
+            RouterId::new(2),
+            RouterId::new(2),
+            72,
+            VcClass::Response,
+        );
+        assert_eq!(out.delivered_at(), Some(Cycle::new(6)));
+        assert_eq!(m.stats().local_deliveries(), 1);
+    }
+
+    #[test]
+    fn contention_delays_later_messages() {
+        let mut m = mesh();
+        let first = m
+            .send(
+                Cycle::ZERO,
+                RouterId::new(0),
+                RouterId::new(1),
+                72,
+                VcClass::Response,
+            )
+            .delivered_at()
+            .unwrap();
+        let second = m
+            .send(
+                Cycle::ZERO,
+                RouterId::new(0),
+                RouterId::new(1),
+                72,
+                VcClass::Response,
+            )
+            .delivered_at()
+            .unwrap();
+        assert!(second > first, "second message must queue behind the first");
+        // Second waits 5 cycles of serialization before starting.
+        assert_eq!(second - first, 5);
+    }
+
+    #[test]
+    fn same_pair_delivery_is_fifo_under_xy_routing() {
+        let mut m = mesh();
+        let mut last = Cycle::ZERO;
+        for i in 0..50u64 {
+            let at = m
+                .send(
+                    Cycle::new(i), // strictly increasing send times
+                    RouterId::new(0),
+                    RouterId::new(15),
+                    if i % 2 == 0 { 8 } else { 72 },
+                    VcClass::Request,
+                )
+                .delivered_at()
+                .unwrap();
+            assert!(at >= last, "FIFO violated: {at} < {last}");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut m = faulty_mesh(1_000_000.0);
+        let out = m.send(
+            Cycle::ZERO,
+            RouterId::new(0),
+            RouterId::new(5),
+            8,
+            VcClass::Request,
+        );
+        assert!(out.is_dropped());
+        assert_eq!(m.stats().total_dropped(), 1);
+        assert_eq!(m.stats().messages(VcClass::Request), 0);
+    }
+
+    #[test]
+    fn moderate_loss_rate_is_respected() {
+        let mut m = faulty_mesh(100_000.0); // 10%
+        let mut dropped = 0;
+        for i in 0..20_000u64 {
+            let out = m.send(
+                Cycle::new(i * 100),
+                RouterId::new(0),
+                RouterId::new(15),
+                8,
+                VcClass::Request,
+            );
+            if out.is_dropped() {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 20_000.0;
+        assert!((0.08..0.12).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn stats_track_messages_and_bytes() {
+        let mut m = mesh();
+        m.send(
+            Cycle::ZERO,
+            RouterId::new(0),
+            RouterId::new(1),
+            8,
+            VcClass::Request,
+        );
+        m.send(
+            Cycle::ZERO,
+            RouterId::new(1),
+            RouterId::new(2),
+            72,
+            VcClass::Response,
+        );
+        assert_eq!(m.stats().total_messages(), 2);
+        assert_eq!(m.stats().total_bytes(), 80);
+        assert_eq!(m.stats().messages(VcClass::Request), 1);
+        assert_eq!(m.stats().bytes(VcClass::Response), 72);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = faulty_mesh(5000.0);
+        let mut b = faulty_mesh(5000.0);
+        for i in 0..2000u64 {
+            let src = RouterId::new((i % 16) as u16);
+            let dst = RouterId::new(((i * 7 + 3) % 16) as u16);
+            assert_eq!(
+                a.send(Cycle::new(i * 3), src, dst, 8, VcClass::Request),
+                b.send(Cycle::new(i * 3), src, dst, 8, VcClass::Request)
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_mode_still_delivers() {
+        let config = MeshConfig {
+            routing: RoutingMode::Adaptive,
+            ..MeshConfig::default()
+        };
+        let mut m = Mesh::new(config, DetRng::from_seed(1));
+        for i in 0..100u64 {
+            let out = m.send(
+                Cycle::new(i * 10),
+                RouterId::new(0),
+                RouterId::new(15),
+                8,
+                VcClass::Request,
+            );
+            assert!(out.delivered_at().is_some());
+        }
+    }
+
+    #[test]
+    fn link_utilization_tracks_traffic() {
+        let mut m = mesh();
+        assert_eq!(m.max_link_utilization(100), 0.0);
+        for i in 0..10u64 {
+            m.send(
+                Cycle::new(i * 10),
+                RouterId::new(0),
+                RouterId::new(1),
+                72,
+                VcClass::Response,
+            );
+        }
+        // 10 messages x 5 serialization cycles on the single 0->1 link.
+        assert_eq!(m.link_busy_cycles().iter().copied().max(), Some(50));
+        assert!((m.max_link_utilization(100) - 0.5).abs() < 1e-9);
+        assert!(m.mean_link_utilization(100) > 0.0);
+        assert_eq!(m.max_link_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn jitter_perturbs_delivery_times() {
+        let config = MeshConfig {
+            jitter_cycles: 500,
+            ..MeshConfig::default()
+        };
+        let mut m = Mesh::new(config, DetRng::from_seed(5));
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..32u64 {
+            let at = m
+                .send(
+                    Cycle::new(i * 1000),
+                    RouterId::new(0),
+                    RouterId::new(15),
+                    8,
+                    VcClass::Request,
+                )
+                .delivered_at()
+                .unwrap();
+            distinct.insert(at - Cycle::new(i * 1000));
+        }
+        assert!(distinct.len() > 5, "jitter should spread latencies");
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic_zero_load() {
+        let mut m = mesh();
+        let a = m.send(
+            Cycle::new(0),
+            RouterId::new(0),
+            RouterId::new(3),
+            8,
+            VcClass::Request,
+        );
+        let mut m2 = mesh();
+        let b = m2.send(
+            Cycle::new(0),
+            RouterId::new(0),
+            RouterId::new(3),
+            8,
+            VcClass::Request,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_zero_load_latency_covers_corner_to_corner() {
+        let m = mesh();
+        assert_eq!(m.max_zero_load_latency(8), m.zero_load_latency(6, 8));
+    }
+}

@@ -1,0 +1,141 @@
+//! Network traffic statistics.
+
+use ftdircmp_stats::{Counter, Histogram};
+
+use crate::VcClass;
+
+/// Traffic counters collected by the mesh, broken down by virtual-channel
+/// class — the raw material for the paper's Figure 4 (network overhead in
+/// messages and bytes by message category).
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    messages_sent: [Counter; 6],
+    bytes_sent: [Counter; 6],
+    messages_dropped: [Counter; 6],
+    bytes_dropped: [Counter; 6],
+    hop_histogram: Histogram,
+    latency_histogram: Histogram,
+    local_deliveries: Counter,
+}
+
+impl NocStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        NocStats::default()
+    }
+
+    pub(crate) fn record_sent(&mut self, class: VcClass, bytes: u32, hops: u32, latency: u64) {
+        self.messages_sent[class.index()].incr();
+        self.bytes_sent[class.index()].add(u64::from(bytes));
+        self.hop_histogram.record(u64::from(hops));
+        self.latency_histogram.record(latency);
+    }
+
+    pub(crate) fn record_dropped(&mut self, class: VcClass, bytes: u32) {
+        self.messages_dropped[class.index()].incr();
+        self.bytes_dropped[class.index()].add(u64::from(bytes));
+    }
+
+    pub(crate) fn record_local(&mut self) {
+        self.local_deliveries.incr();
+    }
+
+    /// Messages successfully injected for `class` (delivered or in flight).
+    pub fn messages(&self, class: VcClass) -> u64 {
+        self.messages_sent[class.index()].get()
+    }
+
+    /// Bytes successfully injected for `class`.
+    pub fn bytes(&self, class: VcClass) -> u64 {
+        self.bytes_sent[class.index()].get()
+    }
+
+    /// Messages lost to transient faults for `class`.
+    pub fn dropped(&self, class: VcClass) -> u64 {
+        self.messages_dropped[class.index()].get()
+    }
+
+    /// Total messages across all classes (including dropped ones, which did
+    /// consume network resources before being lost).
+    pub fn total_messages(&self) -> u64 {
+        VcClass::ALL
+            .iter()
+            .map(|c| self.messages(*c) + self.dropped(*c))
+            .sum()
+    }
+
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        VcClass::ALL
+            .iter()
+            .map(|c| self.bytes(*c) + self.bytes_dropped[c.index()].get())
+            .sum()
+    }
+
+    /// Total messages lost to faults.
+    pub fn total_dropped(&self) -> u64 {
+        VcClass::ALL.iter().map(|c| self.dropped(*c)).sum()
+    }
+
+    /// Same-router deliveries that bypassed the mesh.
+    pub fn local_deliveries(&self) -> u64 {
+        self.local_deliveries.get()
+    }
+
+    /// Distribution of hop counts.
+    pub fn hops(&self) -> &Histogram {
+        &self.hop_histogram
+    }
+
+    /// Distribution of end-to-end network latencies (cycles).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency_histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let mut s = NocStats::new();
+        s.record_sent(VcClass::Request, 8, 3, 12);
+        s.record_sent(VcClass::Request, 8, 1, 4);
+        s.record_sent(VcClass::Response, 72, 2, 20);
+        assert_eq!(s.messages(VcClass::Request), 2);
+        assert_eq!(s.bytes(VcClass::Request), 16);
+        assert_eq!(s.messages(VcClass::Response), 1);
+        assert_eq!(s.bytes(VcClass::Response), 72);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 88);
+    }
+
+    #[test]
+    fn drops_are_counted_separately_but_in_totals() {
+        let mut s = NocStats::new();
+        s.record_sent(VcClass::Unblock, 8, 2, 10);
+        s.record_dropped(VcClass::Unblock, 8);
+        assert_eq!(s.messages(VcClass::Unblock), 1);
+        assert_eq!(s.dropped(VcClass::Unblock), 1);
+        assert_eq!(s.total_dropped(), 1);
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_bytes(), 16);
+    }
+
+    #[test]
+    fn histograms_track_hops_and_latency() {
+        let mut s = NocStats::new();
+        s.record_sent(VcClass::Forward, 8, 5, 33);
+        assert_eq!(s.hops().max(), Some(5));
+        assert_eq!(s.latency().max(), Some(33));
+    }
+
+    #[test]
+    fn local_deliveries_tracked() {
+        let mut s = NocStats::new();
+        s.record_local();
+        s.record_local();
+        assert_eq!(s.local_deliveries(), 2);
+    }
+}

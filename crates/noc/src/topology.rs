@@ -1,0 +1,443 @@
+//! Mesh geometry: routers, coordinates, links and routes.
+
+use ftdircmp_sim::DetRng;
+
+/// Identifier of a router (one per tile) in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_noc::{RouterId, Topology};
+///
+/// let topo = Topology::new(4, 4);
+/// let r = RouterId::new(5);
+/// assert_eq!(topo.coord(r).x(), 1);
+/// assert_eq!(topo.coord(r).y(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouterId(u16);
+
+impl RouterId {
+    /// Creates a router id from a raw index.
+    pub const fn new(index: u16) -> Self {
+        RouterId(index)
+    }
+
+    /// Raw index (row-major).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RouterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Grid coordinate of a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    x: u16,
+    y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Column (0 = west).
+    pub const fn x(self) -> u16 {
+        self.x
+    }
+
+    /// Row (0 = north).
+    pub const fn y(self) -> u16 {
+        self.y
+    }
+}
+
+/// One of the four mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Towards larger x.
+    East,
+    /// Towards smaller x.
+    West,
+    /// Towards larger y.
+    South,
+    /// Towards smaller y.
+    North,
+}
+
+impl Direction {
+    /// Dense index for array-backed per-direction state.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::South => 2,
+            Direction::North => 3,
+        }
+    }
+}
+
+/// A directional physical link, identified by its source router and
+/// direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    from: RouterId,
+    dir: Direction,
+}
+
+impl LinkId {
+    /// Source router of the link.
+    pub fn from(self) -> RouterId {
+        self.from
+    }
+
+    /// Direction the link points.
+    pub fn dir(self) -> Direction {
+        self.dir
+    }
+
+    /// Dense index into a per-link array of `4 * router_count` slots.
+    pub fn dense_index(self) -> usize {
+        self.from.index() * 4 + self.dir.index()
+    }
+}
+
+/// Rectangular 2D mesh topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    width: u16,
+    height: u16,
+}
+
+impl Topology {
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Topology { width, height }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Number of dense link slots (including nonexistent edge links).
+    pub fn link_slots(&self) -> usize {
+        self.router_count() * 4
+    }
+
+    /// Coordinate of a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn coord(&self, r: RouterId) -> Coord {
+        assert!(r.index() < self.router_count(), "router {r} out of range");
+        Coord::new(r.index() as u16 % self.width, r.index() as u16 / self.width)
+    }
+
+    /// Router at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    pub fn router_at(&self, c: Coord) -> RouterId {
+        assert!(
+            c.x() < self.width && c.y() < self.height,
+            "coord outside mesh"
+        );
+        RouterId::new(c.y() * self.width + c.x())
+    }
+
+    /// Neighbor of `r` in direction `d`, if it exists.
+    pub fn neighbor(&self, r: RouterId, d: Direction) -> Option<RouterId> {
+        let c = self.coord(r);
+        let (x, y) = (c.x() as i32, c.y() as i32);
+        let (nx, ny) = match d {
+            Direction::East => (x + 1, y),
+            Direction::West => (x - 1, y),
+            Direction::South => (x, y + 1),
+            Direction::North => (x, y - 1),
+        };
+        if nx < 0 || ny < 0 || nx >= self.width as i32 || ny >= self.height as i32 {
+            None
+        } else {
+            Some(self.router_at(Coord::new(nx as u16, ny as u16)))
+        }
+    }
+
+    /// Manhattan distance in hops between two routers.
+    pub fn hops(&self, a: RouterId, b: RouterId) -> u32 {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        (ca.x().abs_diff(cb.x()) + ca.y().abs_diff(cb.y())) as u32
+    }
+
+    /// Dimension-ordered (XY) route: the deterministic path used by DirCMP's
+    /// ordered-network assumption. Returns the sequence of links traversed
+    /// (empty when `src == dst`).
+    pub fn route_xy(&self, src: RouterId, dst: RouterId) -> Vec<LinkId> {
+        let mut path = Vec::with_capacity(self.hops(src, dst) as usize);
+        let mut cur = src;
+        let dstc = self.coord(dst);
+        loop {
+            let c = self.coord(cur);
+            let dir = if c.x() < dstc.x() {
+                Direction::East
+            } else if c.x() > dstc.x() {
+                Direction::West
+            } else if c.y() < dstc.y() {
+                Direction::South
+            } else if c.y() > dstc.y() {
+                Direction::North
+            } else {
+                break;
+            };
+            path.push(LinkId { from: cur, dir });
+            cur = self.neighbor(cur, dir).expect("route stepped off the mesh");
+        }
+        path
+    }
+
+    /// Randomized minimal adaptive route: at each hop, picks uniformly among
+    /// the productive directions. Models an *unordered* network (adaptive
+    /// routing), the extension discussed in paper §2 / its reference 6.
+    pub fn route_adaptive(&self, src: RouterId, dst: RouterId, rng: &mut DetRng) -> Vec<LinkId> {
+        let mut path = Vec::with_capacity(self.hops(src, dst) as usize);
+        let mut cur = src;
+        let dstc = self.coord(dst);
+        loop {
+            let c = self.coord(cur);
+            let mut productive = Vec::with_capacity(2);
+            if c.x() < dstc.x() {
+                productive.push(Direction::East);
+            } else if c.x() > dstc.x() {
+                productive.push(Direction::West);
+            }
+            if c.y() < dstc.y() {
+                productive.push(Direction::South);
+            } else if c.y() > dstc.y() {
+                productive.push(Direction::North);
+            }
+            let dir = match productive.len() {
+                0 => break,
+                1 => productive[0],
+                _ => *rng.pick(&productive),
+            };
+            path.push(LinkId { from: cur, dir });
+            cur = self.neighbor(cur, dir).expect("route stepped off the mesh");
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(4, 4)
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = topo();
+        for i in 0..16 {
+            let r = RouterId::new(i);
+            assert_eq!(t.router_at(t.coord(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_mesh_edges() {
+        let t = topo();
+        // Corner 0 has only east and south neighbors.
+        assert_eq!(t.neighbor(RouterId::new(0), Direction::West), None);
+        assert_eq!(t.neighbor(RouterId::new(0), Direction::North), None);
+        assert_eq!(
+            t.neighbor(RouterId::new(0), Direction::East),
+            Some(RouterId::new(1))
+        );
+        assert_eq!(
+            t.neighbor(RouterId::new(0), Direction::South),
+            Some(RouterId::new(4))
+        );
+        // Center router has all four.
+        for d in [
+            Direction::East,
+            Direction::West,
+            Direction::South,
+            Direction::North,
+        ] {
+            assert!(t.neighbor(RouterId::new(5), d).is_some());
+        }
+    }
+
+    #[test]
+    fn xy_route_length_equals_manhattan_distance() {
+        let t = topo();
+        for a in 0..16 {
+            for b in 0..16 {
+                let (ra, rb) = (RouterId::new(a), RouterId::new(b));
+                assert_eq!(t.route_xy(ra, rb).len() as u32, t.hops(ra, rb));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        let t = topo();
+        // 0 (0,0) -> 15 (3,3): 3 easts then 3 souths.
+        let path = t.route_xy(RouterId::new(0), RouterId::new(15));
+        let dirs: Vec<Direction> = path.iter().map(|l| l.dir()).collect();
+        assert_eq!(
+            dirs,
+            vec![
+                Direction::East,
+                Direction::East,
+                Direction::East,
+                Direction::South,
+                Direction::South,
+                Direction::South
+            ]
+        );
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = topo();
+        assert!(t.route_xy(RouterId::new(7), RouterId::new(7)).is_empty());
+    }
+
+    #[test]
+    fn xy_route_is_deterministic() {
+        let t = topo();
+        let a = t.route_xy(RouterId::new(2), RouterId::new(13));
+        let b = t.route_xy(RouterId::new(2), RouterId::new(13));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_route_is_minimal() {
+        let t = topo();
+        let mut rng = DetRng::from_seed(3);
+        for a in 0..16 {
+            for b in 0..16 {
+                let (ra, rb) = (RouterId::new(a), RouterId::new(b));
+                let path = t.route_adaptive(ra, rb, &mut rng);
+                assert_eq!(path.len() as u32, t.hops(ra, rb));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_route_varies() {
+        let t = topo();
+        let mut rng = DetRng::from_seed(3);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let path: Vec<usize> = t
+                .route_adaptive(RouterId::new(0), RouterId::new(15), &mut rng)
+                .iter()
+                .map(|l| l.dense_index())
+                .collect();
+            distinct.insert(path);
+        }
+        assert!(
+            distinct.len() > 1,
+            "adaptive routing should explore multiple paths"
+        );
+    }
+
+    #[test]
+    fn dense_link_indices_fit() {
+        let t = topo();
+        for a in 0..16 {
+            for b in 0..16 {
+                for l in t.route_xy(RouterId::new(a), RouterId::new(b)) {
+                    assert!(l.dense_index() < t.link_slots());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh dimensions must be positive")]
+    fn zero_dimension_panics() {
+        Topology::new(0, 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// XY routes are valid paths on arbitrary mesh shapes: each link
+        /// starts where the previous one ended and the walk lands on the
+        /// destination in exactly the Manhattan distance.
+        #[test]
+        fn xy_routes_are_valid_walks(
+            w in 1u16..9,
+            h in 1u16..9,
+            a in 0u16..64,
+            b in 0u16..64,
+        ) {
+            let t = Topology::new(w, h);
+            let n = t.router_count() as u16;
+            let (src, dst) = (RouterId::new(a % n), RouterId::new(b % n));
+            let path = t.route_xy(src, dst);
+            prop_assert_eq!(path.len() as u32, t.hops(src, dst));
+            let mut cur = src;
+            for link in &path {
+                prop_assert_eq!(link.from(), cur);
+                cur = t.neighbor(cur, link.dir()).expect("link exists");
+            }
+            prop_assert_eq!(cur, dst);
+        }
+
+        /// Adaptive routes are also valid minimal walks.
+        #[test]
+        fn adaptive_routes_are_valid_walks(
+            w in 1u16..9,
+            h in 1u16..9,
+            a in 0u16..64,
+            b in 0u16..64,
+            seed in 0u64..1000,
+        ) {
+            let t = Topology::new(w, h);
+            let n = t.router_count() as u16;
+            let (src, dst) = (RouterId::new(a % n), RouterId::new(b % n));
+            let mut rng = DetRng::from_seed(seed);
+            let path = t.route_adaptive(src, dst, &mut rng);
+            prop_assert_eq!(path.len() as u32, t.hops(src, dst));
+            let mut cur = src;
+            for link in &path {
+                prop_assert_eq!(link.from(), cur);
+                cur = t.neighbor(cur, link.dir()).expect("link exists");
+            }
+            prop_assert_eq!(cur, dst);
+        }
+    }
+}

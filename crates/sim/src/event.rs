@@ -1,0 +1,281 @@
+//! Time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A deterministic, time-ordered event queue.
+///
+/// Events scheduled for the same cycle are delivered in the order they were
+/// scheduled (FIFO tie-breaking), which keeps simulations reproducible.
+///
+/// The queue tracks the current simulated time: [`EventQueue::pop`] advances
+/// [`EventQueue::now`] to the popped event's timestamp. Scheduling an event in
+/// the past is a logic error and panics.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(3, 'b');
+/// q.schedule_in(3, 'c'); // same time: FIFO order preserved
+/// q.schedule_in(1, 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: Cycle,
+    scheduled_total: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event
+// (and, within a cycle, the lowest sequence number) first.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycle::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`].
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty (the clock does not
+    /// move).
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for diagnostics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(30), 3);
+        q.schedule(Cycle::new(10), 1);
+        q.schedule(Cycle::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle::new(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop_only() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(7), ());
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(7));
+        // Popping an empty queue leaves the clock alone.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), Cycle::new(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(10), "first");
+        q.pop();
+        q.schedule_in(5, "second");
+        assert_eq!(q.pop(), Some((Cycle::new(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(10), ());
+        q.pop();
+        q.schedule(Cycle::new(9), ());
+    }
+
+    #[test]
+    fn peek_and_len_track_contents() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycle::new(4), 0);
+        q.schedule(Cycle::new(2), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(2)));
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(1), 'a');
+        q.schedule(Cycle::new(5), 'c');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.schedule(Cycle::new(3), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'c');
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping always yields events in (time, insertion) order, no
+        /// matter how schedules and pops interleave.
+        #[test]
+        fn pops_are_globally_ordered(delays in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, d) in delays.iter().enumerate() {
+                q.schedule_in(*d, i);
+            }
+            let mut last: Option<(Cycle, usize)> = None;
+            let mut seen = 0;
+            while let Some((at, id)) = q.pop() {
+                if let Some((lt, lid)) = last {
+                    prop_assert!(at > lt || (at == lt && id > lid),
+                        "order violated: ({lt},{lid}) then ({at},{id})");
+                }
+                last = Some((at, id));
+                seen += 1;
+            }
+            prop_assert_eq!(seen, delays.len());
+        }
+
+        /// Interleaved schedule/pop keeps the clock monotone and never
+        /// loses an event.
+        #[test]
+        fn interleaved_operations_preserve_counts(
+            script in proptest::collection::vec((0u64..100, any::<bool>()), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut scheduled = 0u64;
+            let mut popped = 0u64;
+            let mut clock = Cycle::ZERO;
+            for (delay, do_pop) in script {
+                if do_pop {
+                    if let Some((at, _)) = q.pop() {
+                        prop_assert!(at >= clock);
+                        clock = at;
+                        popped += 1;
+                    }
+                } else {
+                    q.schedule_in(delay, scheduled);
+                    scheduled += 1;
+                }
+            }
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert_eq!(popped, scheduled);
+            prop_assert_eq!(q.scheduled_total(), scheduled);
+        }
+    }
+}

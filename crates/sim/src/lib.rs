@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the minimal substrate on which the FtDirCMP system
+//! simulator is built:
+//!
+//! * [`Cycle`] — a newtype for simulated time measured in processor cycles.
+//! * [`EventQueue`] — a time-ordered, FIFO-stable priority queue of events.
+//! * [`DetRng`] — a deterministic, fork-able random number generator so that
+//!   every simulation run is exactly reproducible from a single seed.
+//!
+//! # Example
+//!
+//! ```
+//! use ftdircmp_sim::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycle::new(10), "ten");
+//! q.schedule(Cycle::new(5), "five");
+//! let (t, e) = q.pop().expect("event");
+//! assert_eq!((t, e), (Cycle::new(5), "five"));
+//! assert_eq!(q.now(), Cycle::new(5));
+//! ```
+
+mod event;
+mod rng;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use time::Cycle;

@@ -1,0 +1,226 @@
+//! Deterministic random number generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random number generator for reproducible simulations.
+///
+/// Every stochastic component of the simulator (fault injection, workload
+/// generation, initial serial numbers) draws from a `DetRng` derived from the
+/// run's master seed, so a run is exactly reproducible from
+/// `(seed, configuration)` alone.
+///
+/// Independent streams are created with [`DetRng::fork`], which mixes a stream
+/// label into the seed. Forked streams are statistically independent and —
+/// more importantly here — *isolated*: drawing more numbers in one component
+/// does not perturb another component's sequence.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_sim::DetRng;
+///
+/// let mut a = DetRng::from_seed(42).fork("faults");
+/// let mut b = DetRng::from_seed(42).fork("faults");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed + label => same stream
+///
+/// let mut c = DetRng::from_seed(42).fork("workload");
+/// assert_ne!(DetRng::from_seed(42).fork("faults").next_u64(), c.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// Derives an independent stream labelled `label`.
+    ///
+    /// The same `(seed, label)` pair always yields the same stream.
+    pub fn fork(&self, label: &str) -> DetRng {
+        let mut h = self.seed;
+        for &b in label.as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        DetRng::from_seed(h)
+    }
+
+    /// Derives an independent stream from a numeric label (e.g. a core index).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> DetRng {
+        let forked = self.fork(label);
+        DetRng::from_seed(splitmix64(
+            forked.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        let i = self.below(items.len() as u64) as usize;
+        &items[i]
+    }
+
+    /// Geometric-ish draw: number of successes before a failure with success
+    /// probability `p`, capped at `cap`. Used for fault-burst lengths.
+    pub fn geometric(&mut self, p: f64, cap: u64) -> u64 {
+        let mut n = 0;
+        while n < cap && self.chance(p) {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// SplitMix64 step; mixes seeds so that nearby seeds yield unrelated streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::from_seed(7);
+        let mut b = DetRng::from_seed(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::from_seed(1);
+        let mut b = DetRng::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn forks_are_isolated() {
+        let root = DetRng::from_seed(99);
+        let mut a1 = root.fork("a");
+        // Drawing from an unrelated fork must not perturb `a`'s stream.
+        let mut b = root.fork("b");
+        let _ = b.next_u64();
+        let mut a2 = root.fork("a");
+        for _ in 0..16 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_indexed_distinguishes_indices() {
+        let root = DetRng::from_seed(5);
+        let x = root.fork_indexed("core", 0).next_u64();
+        let y = root.fork_indexed("core", 1).next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::from_seed(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_deterministic() {
+        let mut r = DetRng::from_seed(0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_probability_roughly_respected() {
+        let mut r = DetRng::from_seed(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn geometric_capped() {
+        let mut r = DetRng::from_seed(13);
+        for _ in 0..100 {
+            assert!(r.geometric(0.99, 5) <= 5);
+        }
+        assert_eq!(r.geometric(0.0, 5), 0);
+    }
+
+    #[test]
+    fn pick_covers_all_elements_eventually() {
+        let mut r = DetRng::from_seed(17);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*r.pick(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        DetRng::from_seed(0).below(0);
+    }
+}

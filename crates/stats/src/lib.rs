@@ -1,0 +1,131 @@
+//! Statistics primitives shared by the FtDirCMP simulator crates.
+//!
+//! The simulator reports the same quantities the paper's evaluation does —
+//! execution cycles, network messages and bytes by category, miss latencies,
+//! timeout/reissue counts. This crate holds the generic building blocks:
+//!
+//! * [`Counter`] — a simple event counter.
+//! * [`Histogram`] — latency distribution with mean/max/percentiles.
+//! * [`table::Table`] — plain-text table rendering for the bench harness.
+//!
+//! # Example
+//!
+//! ```
+//! use ftdircmp_stats::Histogram;
+//!
+//! let mut h = Histogram::new();
+//! for v in [10, 20, 30] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 3);
+//! assert_eq!(h.mean(), 20.0);
+//! assert_eq!(h.max(), Some(30));
+//! ```
+
+mod histogram;
+pub mod table;
+
+pub use histogram::Histogram;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_stats::Counter;
+///
+/// let mut c = Counter::new();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Computes `a / b` as a percentage, returning 0 when `b` is zero.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ftdircmp_stats::percent(1, 4), 25.0);
+/// assert_eq!(ftdircmp_stats::percent(1, 0), 0.0);
+/// ```
+pub fn percent(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        100.0 * a as f64 / b as f64
+    }
+}
+
+/// Computes the ratio `a / b`, returning `fallback` when `b` is zero.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ftdircmp_stats::ratio_or(6, 3, 1.0), 2.0);
+/// assert_eq!(ftdircmp_stats::ratio_or(6, 0, 1.0), 1.0);
+/// ```
+pub fn ratio_or(a: u64, b: u64, fallback: f64) -> f64 {
+    if b == 0 {
+        fallback
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 12);
+        assert_eq!(c.to_string(), "12");
+    }
+
+    #[test]
+    fn percent_handles_zero_denominator() {
+        assert_eq!(percent(5, 0), 0.0);
+        assert_eq!(percent(5, 10), 50.0);
+    }
+
+    #[test]
+    fn ratio_or_fallback() {
+        assert_eq!(ratio_or(0, 0, 42.0), 42.0);
+        assert_eq!(ratio_or(9, 3, 0.0), 3.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic parallel workload generators.
+//!
+//! The paper evaluates FtDirCMP with full-system simulation of SPLASH-2-class
+//! parallel applications. Those binaries (and the Simics/GEMS stack to run
+//! them) are not available here, so this crate generates *synthetic traces*
+//! that reproduce the property the protocols actually respond to: the
+//! **coherence event mix** — miss rates, sharing degree, read/write balance,
+//! producer–consumer flows, migratory read-modify-write chains and lock-like
+//! contention (see DESIGN.md §4, substitution table).
+//!
+//! Each named workload is a distinct parameterization of
+//! [`WorkloadSpec`]; [`suite`] returns the benchmark set used by the
+//! figure-regeneration benches.
+//!
+//! # Example
+//!
+//! ```
+//! use ftdircmp_workloads::{suite, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::named("fft").expect("fft is in the suite");
+//! let wl = spec.generate(16, 42);
+//! assert_eq!(wl.traces.len(), 16);
+//! assert!(wl.total_mem_ops() > 0);
+//! assert!(suite().len() >= 8);
+//! ```
+
+mod patterns;
+mod spec;
+
+pub use spec::{suite, SharingPattern, WorkloadSpec};

@@ -1,0 +1,465 @@
+//! Workload specifications: named parameterizations standing in for the
+//! paper's benchmark suite.
+
+use ftdircmp_core::trace::{CoreTrace, TraceOp, Workload};
+use ftdircmp_sim::DetRng;
+
+use crate::patterns::{self, PatternState, Regions};
+
+/// One of the classic sharing behaviours of parallel programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingPattern {
+    /// Accesses to a per-core private region.
+    Private,
+    /// Loads from a read-mostly shared region with a hot subset.
+    ReadShared,
+    /// Writes into an own chunk, reads from the neighbour's (pipelines,
+    /// boundary exchanges).
+    ProducerConsumer,
+    /// Load-then-store on a small set of shared lines (the pattern the
+    /// migratory optimization targets, paper §2).
+    Migratory,
+    /// Lock-style read-modify-write contention on a hot line.
+    Lock,
+    /// Sequential sweep through a large region (capacity misses).
+    Streaming,
+}
+
+/// A named synthetic workload: a weighted pattern mix plus sizing knobs.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_workloads::WorkloadSpec;
+///
+/// let wl = WorkloadSpec::named("radix").unwrap().generate(16, 1);
+/// assert_eq!(wl.name, "radix");
+/// assert_eq!(wl.traces.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Display name (the benchmark this trace models).
+    pub name: &'static str,
+    /// Operations generated per core (pattern bursts may emit several).
+    pub ops_per_core: usize,
+    /// Weighted pattern mix.
+    pub mix: Vec<(SharingPattern, f64)>,
+    /// Per-core private region, in lines.
+    pub private_lines: u64,
+    /// Read-mostly shared region, in lines.
+    pub shared_lines: u64,
+    /// Producer-consumer chunk per core, in lines.
+    pub chunk_lines: u64,
+    /// Migratory line set size.
+    pub migratory_lines: u64,
+    /// Number of contended lock lines.
+    pub locks: u64,
+    /// Streaming region, in lines.
+    pub stream_lines: u64,
+    /// Store fraction for private/streaming accesses.
+    pub store_fraction: f64,
+    /// Mean think time between bursts, cycles (0 disables).
+    pub think_mean: u64,
+}
+
+impl WorkloadSpec {
+    /// Looks up a spec from [`suite`] by name.
+    pub fn named(name: &str) -> Option<WorkloadSpec> {
+        suite().into_iter().find(|s| s.name == name)
+    }
+
+    /// Generates per-core traces for `cores` cores from `seed`.
+    pub fn generate(&self, cores: u8, seed: u64) -> Workload {
+        let regions = Regions { line_bytes: 64 };
+        let root = DetRng::from_seed(seed ^ 0xF7D1_0000).fork(self.name);
+        let total_weight: f64 = self.mix.iter().map(|(_, w)| w).sum();
+        let mut traces = Vec::with_capacity(usize::from(cores));
+        for core in 0..cores {
+            let mut rng = root.fork_indexed("core", u64::from(core));
+            let mut st = PatternState {
+                core,
+                cores,
+                stream_cursor: rng.below(self.stream_lines.max(1)),
+            };
+            let mut ops: Vec<TraceOp> = Vec::with_capacity(self.ops_per_core * 2);
+            while ops.len() < self.ops_per_core {
+                let mut pick = rng.unit_f64() * total_weight;
+                let mut chosen = self.mix[0].0;
+                for (p, w) in &self.mix {
+                    if pick < *w {
+                        chosen = *p;
+                        break;
+                    }
+                    pick -= w;
+                }
+                match chosen {
+                    SharingPattern::Private => patterns::private(
+                        &regions,
+                        &st,
+                        self.private_lines,
+                        self.store_fraction,
+                        &mut rng,
+                        &mut ops,
+                    ),
+                    SharingPattern::ReadShared => {
+                        patterns::read_shared(&regions, self.shared_lines, &mut rng, &mut ops)
+                    }
+                    SharingPattern::ProducerConsumer => patterns::producer_consumer(
+                        &regions,
+                        &st,
+                        self.chunk_lines,
+                        &mut rng,
+                        &mut ops,
+                    ),
+                    SharingPattern::Migratory => {
+                        patterns::migratory(&regions, self.migratory_lines, &mut rng, &mut ops)
+                    }
+                    SharingPattern::Lock => {
+                        patterns::lock(&regions, self.locks, &mut rng, &mut ops)
+                    }
+                    SharingPattern::Streaming => patterns::streaming(
+                        &regions,
+                        &mut st,
+                        self.stream_lines,
+                        self.store_fraction,
+                        &mut rng,
+                        &mut ops,
+                    ),
+                }
+                if self.think_mean > 0 && rng.chance(0.3) {
+                    ops.push(TraceOp::Think(1 + rng.below(self.think_mean * 2)));
+                }
+            }
+            traces.push(CoreTrace::new(ops));
+        }
+        Workload::new(self.name, traces)
+    }
+}
+
+fn base(name: &'static str) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        ops_per_core: 600,
+        mix: vec![(SharingPattern::Private, 1.0)],
+        private_lines: 96,
+        shared_lines: 256,
+        chunk_lines: 32,
+        migratory_lines: 8,
+        locks: 2,
+        stream_lines: 4096,
+        store_fraction: 0.3,
+        think_mean: 20,
+    }
+}
+
+/// The benchmark suite: named synthetic stand-ins for the parallel
+/// applications of the paper's evaluation, each emphasising a different
+/// coherence event mix (see DESIGN.md §4).
+pub fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        // Hierarchical n-body: migratory body updates + read-shared tree.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::ReadShared, 0.35),
+                (SharingPattern::Migratory, 0.25),
+                (SharingPattern::Private, 0.35),
+                (SharingPattern::Lock, 0.05),
+            ],
+            ..base("barnes")
+        },
+        // FFT: streaming butterflies + all-to-all transpose.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Streaming, 0.45),
+                (SharingPattern::ProducerConsumer, 0.3),
+                (SharingPattern::Private, 0.25),
+            ],
+            store_fraction: 0.4,
+            ..base("fft")
+        },
+        // Blocked LU: streaming over blocks + read-shared pivot row.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Streaming, 0.4),
+                (SharingPattern::ReadShared, 0.35),
+                (SharingPattern::Private, 0.25),
+            ],
+            ..base("lu")
+        },
+        // Ocean: grid relaxation, neighbour boundary exchange.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Streaming, 0.35),
+                (SharingPattern::ProducerConsumer, 0.45),
+                (SharingPattern::Private, 0.2),
+            ],
+            store_fraction: 0.45,
+            ..base("ocean")
+        },
+        // Radix sort: scatter-heavy streaming with high store fraction.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Streaming, 0.6),
+                (SharingPattern::Private, 0.3),
+                (SharingPattern::Lock, 0.1),
+            ],
+            store_fraction: 0.55,
+            ..base("radix")
+        },
+        // Raytrace: read-mostly scene + work-queue locks + private stacks.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::ReadShared, 0.5),
+                (SharingPattern::Private, 0.35),
+                (SharingPattern::Lock, 0.15),
+            ],
+            store_fraction: 0.15,
+            locks: 4,
+            ..base("raytrace")
+        },
+        // Water (n-squared): migratory molecule records.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Migratory, 0.4),
+                (SharingPattern::ReadShared, 0.25),
+                (SharingPattern::Private, 0.35),
+            ],
+            migratory_lines: 16,
+            ..base("water-nsq")
+        },
+        // Water (spatial): like water-nsq with less contention.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Migratory, 0.2),
+                (SharingPattern::ReadShared, 0.25),
+                (SharingPattern::Private, 0.55),
+            ],
+            migratory_lines: 32,
+            ..base("water-sp")
+        },
+        // Tomcatv: vectorizable mesh code, mostly private streaming.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Streaming, 0.55),
+                (SharingPattern::Private, 0.4),
+                (SharingPattern::ReadShared, 0.05),
+            ],
+            store_fraction: 0.35,
+            ..base("tomcatv")
+        },
+        // Unstructured: irregular mesh, mixed sharing with locks.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::ReadShared, 0.3),
+                (SharingPattern::Migratory, 0.2),
+                (SharingPattern::ProducerConsumer, 0.2),
+                (SharingPattern::Private, 0.2),
+                (SharingPattern::Lock, 0.1),
+            ],
+            ..base("unstructured")
+        },
+        // Web-server stand-in: large read-mostly document set, per-request
+        // private buffers, contended accept/stat locks.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::ReadShared, 0.45),
+                (SharingPattern::Private, 0.3),
+                (SharingPattern::Lock, 0.15),
+                (SharingPattern::Migratory, 0.1),
+            ],
+            shared_lines: 1024,
+            locks: 6,
+            store_fraction: 0.2,
+            think_mean: 60,
+            ..base("apache")
+        },
+        // Transaction-server stand-in: migratory object headers, shared
+        // heap, allocation locks, high store fraction.
+        WorkloadSpec {
+            mix: vec![
+                (SharingPattern::Migratory, 0.3),
+                (SharingPattern::ReadShared, 0.2),
+                (SharingPattern::Private, 0.3),
+                (SharingPattern::ProducerConsumer, 0.1),
+                (SharingPattern::Lock, 0.1),
+            ],
+            migratory_lines: 24,
+            locks: 8,
+            store_fraction: 0.4,
+            ..base("sjbb")
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_distinct_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 12);
+        for (i, a) in s.iter().enumerate() {
+            for b in &s[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn named_lookup_works() {
+        assert!(WorkloadSpec::named("fft").is_some());
+        assert!(WorkloadSpec::named("barnes").is_some());
+        assert!(WorkloadSpec::named("nonexistent").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::named("ocean").unwrap();
+        let a = spec.generate(16, 7);
+        let b = spec.generate(16, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = WorkloadSpec::named("ocean").unwrap();
+        assert_ne!(spec.generate(16, 1), spec.generate(16, 2));
+    }
+
+    #[test]
+    fn generates_requested_core_count_and_ops() {
+        for spec in suite() {
+            let wl = spec.generate(16, 3);
+            assert_eq!(wl.traces.len(), 16, "{}", spec.name);
+            for t in &wl.traces {
+                assert!(t.len() >= spec.ops_per_core, "{}", spec.name);
+                assert!(t.mem_ops() > 0, "{}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn store_heavy_specs_store_more() {
+        let radix = WorkloadSpec::named("radix").unwrap().generate(4, 5);
+        let raytrace = WorkloadSpec::named("raytrace").unwrap().generate(4, 5);
+        let frac = |wl: &ftdircmp_core::trace::Workload| {
+            let (mut st, mut tot) = (0usize, 0usize);
+            for t in &wl.traces {
+                for op in t.ops() {
+                    if op.is_mem() {
+                        tot += 1;
+                        if matches!(op, ftdircmp_core::trace::TraceOp::Store(_)) {
+                            st += 1;
+                        }
+                    }
+                }
+            }
+            st as f64 / tot as f64
+        };
+        assert!(frac(&radix) > frac(&raytrace) + 0.1);
+    }
+
+    #[test]
+    fn migratory_specs_emit_rmw_pairs() {
+        let wl = WorkloadSpec::named("water-nsq").unwrap().generate(2, 9);
+        let t = &wl.traces[0];
+        let mut pairs = 0;
+        for w in t.ops().windows(2) {
+            if let (TraceOp::Load(a), TraceOp::Store(b)) = (w[0], w[1]) {
+                if a == b {
+                    pairs += 1;
+                }
+            }
+        }
+        assert!(
+            pairs > 10,
+            "expected migratory load/store pairs, got {pairs}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod statistical_tests {
+    use super::*;
+    use ftdircmp_core::trace::TraceOp;
+
+    fn store_fraction(wl: &ftdircmp_core::trace::Workload) -> f64 {
+        let (mut st, mut tot) = (0usize, 0usize);
+        for t in &wl.traces {
+            for op in t.ops() {
+                if op.is_mem() {
+                    tot += 1;
+                    if matches!(op, TraceOp::Store(_)) {
+                        st += 1;
+                    }
+                }
+            }
+        }
+        st as f64 / tot as f64
+    }
+
+    fn fraction_in_region(wl: &ftdircmp_core::trace::Workload, lo: u64, hi: u64) -> f64 {
+        let (mut inside, mut tot) = (0usize, 0usize);
+        for t in &wl.traces {
+            for op in t.ops() {
+                if let Some(a) = op.addr() {
+                    tot += 1;
+                    let line = a.0 / 64;
+                    if (lo..hi).contains(&line) {
+                        inside += 1;
+                    }
+                }
+            }
+        }
+        inside as f64 / tot as f64
+    }
+
+    #[test]
+    fn every_benchmark_is_statistically_plausible() {
+        for spec in suite() {
+            let wl = spec.generate(16, 77);
+            let sf = store_fraction(&wl);
+            assert!(
+                (0.05..0.75).contains(&sf),
+                "{}: store fraction {sf}",
+                spec.name
+            );
+            for t in &wl.traces {
+                assert!(
+                    t.mem_ops() * 10 >= t.len() * 4,
+                    "{}: too few mem ops",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_heavy_specs_touch_the_shared_region() {
+        // raytrace/apache are read-shared dominated: a large fraction of
+        // their references land in the shared region [0x2000, 0x8000).
+        for name in ["raytrace", "apache"] {
+            let wl = WorkloadSpec::named(name).unwrap().generate(16, 5);
+            let f = fraction_in_region(&wl, 0x2000, 0x8000);
+            assert!(f > 0.2, "{name}: shared fraction {f}");
+        }
+        // tomcatv is not.
+        let wl = WorkloadSpec::named("tomcatv").unwrap().generate(16, 5);
+        assert!(fraction_in_region(&wl, 0x2000, 0x8000) < 0.1);
+    }
+
+    #[test]
+    fn streaming_specs_cover_wide_footprints() {
+        let wl = WorkloadSpec::named("radix").unwrap().generate(16, 5);
+        let mut lines = std::collections::HashSet::new();
+        for t in &wl.traces {
+            for op in t.ops() {
+                if let Some(a) = op.addr() {
+                    lines.insert(a.0 / 64);
+                }
+            }
+        }
+        assert!(lines.len() > 1500, "radix footprint {} lines", lines.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! Fault injection: the paper's headline demonstration.
+//!
+//! DirCMP deadlocks when the network loses even a handful of messages;
+//! FtDirCMP finishes the same workload coherently across the whole fault
+//! sweep of the paper's Figure 3, and far beyond it.
+//!
+//! ```text
+//! cargo run --release --example fault_injection [benchmark]
+//! ```
+
+use ftdircmp::{workloads, RunError, System, SystemConfig};
+use ftdircmp_stats::table::{times, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ocean".to_string());
+    let spec = workloads::WorkloadSpec::named(&bench)
+        .ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+    let wl = spec.generate(16, 7);
+
+    // 1. The motivation (paper §3): DirCMP + lossy network = deadlock.
+    let mut doomed = SystemConfig::dircmp().with_fault_rate(2000.0);
+    doomed.watchdog_cycles = 150_000;
+    match System::run_workload(doomed, &wl) {
+        Err(RunError::Deadlock {
+            at, blocked_cores, ..
+        }) => println!(
+            "DirCMP at 2000 lost msgs/million: DEADLOCK at cycle {at} with {} cores blocked\n",
+            blocked_cores.len()
+        ),
+        Ok(r) => println!(
+            "DirCMP survived only because no message happened to be lost ({} losses)\n",
+            r.messages_lost
+        ),
+        Err(e) => return Err(e.into()),
+    }
+
+    // 2. FtDirCMP across the fault sweep (Figure 3 x-axis).
+    let baseline = System::run_workload(SystemConfig::ftdircmp(), &wl)?;
+    let mut t = Table::with_columns(&[
+        "lost msgs / million",
+        "messages lost",
+        "timeouts fired",
+        "reissues",
+        "relative exec. time",
+    ]);
+    for rate in [0.0, 125.0, 250.0, 500.0, 1000.0, 2000.0, 10_000.0] {
+        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
+        cfg.watchdog_cycles = 2_000_000;
+        let r = System::run_workload(cfg, &wl)?;
+        assert!(r.violations.is_empty(), "coherence violated at rate {rate}");
+        t.row(vec![
+            format!("{rate:.0}"),
+            r.messages_lost.to_string(),
+            r.stats.total_timeouts().to_string(),
+            r.stats.reissues.get().to_string(),
+            times(r.relative_execution_time(&baseline)),
+        ]);
+    }
+    println!("FtDirCMP on benchmark {}:\n{}", spec.name, t.render());
+    println!("Every faulty run completed with zero coherence/data-integrity violations.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: run one benchmark under both protocols and print the
+//! comparison the paper's evaluation is built on.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [seed]
+//! ```
+
+use ftdircmp::{compare_protocols, workloads};
+use ftdircmp_stats::table::{signed_percent, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "barnes".to_string());
+    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(42);
+
+    let spec = workloads::WorkloadSpec::named(&bench).ok_or_else(|| {
+        let names: Vec<&str> = workloads::suite().iter().map(|s| s.name).collect();
+        format!("unknown benchmark {bench:?}; try one of {names:?}")
+    })?;
+    let wl = spec.generate(16, seed);
+    println!(
+        "benchmark {} — {} memory operations across 16 cores (seed {seed})\n",
+        spec.name,
+        wl.total_mem_ops()
+    );
+
+    let (base, ft) = compare_protocols(&wl, seed)?;
+    assert!(base.violations.is_empty() && ft.violations.is_empty());
+
+    let mut t = Table::with_columns(&["metric", "DirCMP", "FtDirCMP", "overhead"]);
+    t.row(vec![
+        "execution cycles".into(),
+        base.cycles.to_string(),
+        ft.cycles.to_string(),
+        signed_percent(ft.relative_execution_time(&base) - 1.0),
+    ]);
+    t.row(vec![
+        "network messages".into(),
+        base.stats.total_messages().to_string(),
+        ft.stats.total_messages().to_string(),
+        signed_percent(ft.message_overhead(&base)),
+    ]);
+    t.row(vec![
+        "network bytes".into(),
+        base.stats.total_bytes().to_string(),
+        ft.stats.total_bytes().to_string(),
+        signed_percent(ft.byte_overhead(&base)),
+    ]);
+    t.row(vec![
+        "L1 miss latency (mean)".into(),
+        format!("{:.0}", base.stats.miss_latency.mean()),
+        format!("{:.0}", ft.stats.miss_latency.mean()),
+        String::new(),
+    ]);
+    println!("{}", t.render());
+
+    println!(
+        "FtDirCMP fault-tolerance machinery (fault-free run): {} AckO, {} AckBD, {} timeouts fired",
+        ft.stats.messages(ftdircmp::MsgType::AckO),
+        ft.stats.messages(ftdircmp::MsgType::AckBD),
+        ft.stats.total_timeouts(),
+    );
+    println!(
+        "\nBoth runs completed coherently; see examples/fault_injection.rs for faulty networks."
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure, ablation and extension of the paper's
+# evaluation into results/ (see EXPERIMENTS.md for the expected shapes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-3}"
+mkdir -p results
+
+run() {
+    local bin="$1"
+    echo "== $bin (seeds=$SEEDS) =="
+    cargo run --release -q -p ftdircmp-bench --bin "$bin" -- --seeds "$SEEDS" \
+        | tee "results/$bin.txt"
+    echo
+}
+
+echo "== tables (paper Tables 1-4) =="
+cargo run --release -q -p ftdircmp-bench --bin tables | tee results/tables.txt
+echo
+
+run fig3_execution_time
+run fig4_network_overhead
+run ablation_timeouts
+run ablation_serial_bits
+run ablation_mesh_scaling
+run ablation_fault_targets
+run ablation_migratory
+run ablation_mlp
+run ext_unordered_network
+run ext_checkpoint_comparison
+
+echo "== hw_overhead (paper §3.6) =="
+cargo run --release -q -p ftdircmp-bench --bin hw_overhead | tee results/hw_overhead.txt
+
+echo
+echo "All results written to results/."

@@ -1,0 +1,134 @@
+//! Property-based tests: for *arbitrary* workload shapes, fault rates,
+//! timeout settings and seeds, the system-wide invariants must hold —
+//! SWMR, data-value integrity, bounded backups (all enforced by the
+//! built-in checker), plus completion and drained protocol state.
+
+use ftdircmp::{Addr, CoreTrace, System, SystemConfig, TraceOp, Workload};
+use proptest::prelude::*;
+
+/// A compact generator of per-core traces over a small hot line set (small
+/// sets maximize races) plus a private stripe.
+fn arb_trace(cores: u8, max_ops: usize) -> impl Strategy<Value = Workload> {
+    let op = (0u8..10, 0u64..24, 1u64..40);
+    proptest::collection::vec(proptest::collection::vec(op, 1..max_ops), cores as usize).prop_map(
+        move |per_core| {
+            let traces = per_core
+                .into_iter()
+                .enumerate()
+                .map(|(c, ops)| {
+                    let ops = ops
+                        .into_iter()
+                        .map(|(kind, line, think)| {
+                            let shared = Addr(line * 64);
+                            let private = Addr((0x9000 + c as u64 * 32 + line % 32) * 64);
+                            match kind {
+                                0..=2 => TraceOp::Load(shared),
+                                3..=4 => TraceOp::Store(shared),
+                                5..=6 => TraceOp::Load(private),
+                                7 => TraceOp::Store(private),
+                                _ => TraceOp::Think(think),
+                            }
+                        })
+                        .collect();
+                    CoreTrace::new(ops)
+                })
+                .collect();
+            Workload::new("proptest", traces)
+        },
+    )
+}
+
+fn check_run(cfg: SystemConfig, wl: &Workload) -> Result<(), TestCaseError> {
+    match System::run_workload(cfg, wl) {
+        Ok(r) => {
+            prop_assert!(r.violations.is_empty(), "violations: {:#?}", r.violations);
+            prop_assert_eq!(r.total_mem_ops as usize, wl.total_mem_ops());
+            prop_assert_eq!(r.residual_activity, 0);
+            Ok(())
+        }
+        Err(e) => {
+            prop_assert!(false, "run failed: {e}");
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn dircmp_coherent_on_reliable_network(wl in arb_trace(8, 60), seed in 0u64..1000) {
+        check_run(SystemConfig::dircmp().with_seed(seed), &wl)?;
+    }
+
+    #[test]
+    fn ftdircmp_coherent_without_faults(wl in arb_trace(8, 60), seed in 0u64..1000) {
+        check_run(SystemConfig::ftdircmp().with_seed(seed), &wl)?;
+    }
+
+    #[test]
+    fn ftdircmp_coherent_under_faults(
+        wl in arb_trace(8, 50),
+        seed in 0u64..1000,
+        rate in 0.0f64..40_000.0,
+    ) {
+        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate).with_seed(seed);
+        cfg.watchdog_cycles = 3_000_000;
+        check_run(cfg, &wl)?;
+    }
+
+    #[test]
+    fn ftdircmp_coherent_with_arbitrary_timeouts(
+        wl in arb_trace(8, 40),
+        seed in 0u64..1000,
+        req in 100u64..5000,
+        unb in 100u64..5000,
+        ackbd in 80u64..4000,
+    ) {
+        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(2000.0).with_seed(seed);
+        cfg.ft.lost_request_timeout = req;
+        cfg.ft.lost_unblock_timeout = unb;
+        cfg.ft.lost_ackbd_timeout = ackbd;
+        cfg.ft.lost_data_timeout = req * 2;
+        cfg.watchdog_cycles = 4_000_000;
+        check_run(cfg, &wl)?;
+    }
+
+    #[test]
+    fn ftdircmp_coherent_on_unordered_network(
+        wl in arb_trace(8, 40),
+        seed in 0u64..1000,
+        rate in 0.0f64..5_000.0,
+    ) {
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_adaptive_routing()
+            .with_fault_rate(rate)
+            .with_seed(seed);
+        cfg.watchdog_cycles = 3_000_000;
+        check_run(cfg, &wl)?;
+    }
+
+    #[test]
+    fn runs_are_deterministic(wl in arb_trace(4, 30), seed in 0u64..100) {
+        let cfg = || {
+            let mut c = SystemConfig::ftdircmp().with_fault_rate(3000.0).with_seed(seed);
+            c.watchdog_cycles = 3_000_000;
+            c
+        };
+        let a = System::run_workload(cfg(), &wl);
+        let b = System::run_workload(cfg(), &wl);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.cycles, y.cycles);
+                prop_assert_eq!(x.stats.total_messages(), y.stats.total_messages());
+                prop_assert_eq!(x.messages_lost, y.messages_lost);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "determinism broken: one run failed"),
+        }
+    }
+}

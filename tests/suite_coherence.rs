@@ -1,0 +1,113 @@
+//! Full-suite integration: every named benchmark runs coherently under both
+//! protocols, and under FtDirCMP across the paper's fault sweep.
+
+use ftdircmp::{workloads, System, SystemConfig};
+
+#[test]
+fn every_benchmark_runs_coherently_under_both_protocols() {
+    for spec in workloads::suite() {
+        let wl = spec.generate(16, 5);
+        for cfg in [SystemConfig::dircmp(), SystemConfig::ftdircmp()] {
+            let protocol = cfg.protocol;
+            let r = System::run_workload(cfg.with_seed(5), &wl)
+                .unwrap_or_else(|e| panic!("{} under {protocol}: {e}", spec.name));
+            assert!(
+                r.violations.is_empty(),
+                "{} under {}: {:#?}",
+                spec.name,
+                protocol,
+                r.violations
+            );
+            assert_eq!(r.total_mem_ops as usize, wl.total_mem_ops());
+            assert_eq!(r.residual_activity, 0, "{} left residue", spec.name);
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_survives_the_figure3_fault_sweep() {
+    for spec in workloads::suite() {
+        let wl = spec.generate(16, 9);
+        for rate in [250.0, 2000.0] {
+            let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate).with_seed(9);
+            cfg.watchdog_cycles = 3_000_000;
+            let r = System::run_workload(cfg, &wl)
+                .unwrap_or_else(|e| panic!("{} at {rate}/M: {e}", spec.name));
+            assert!(
+                r.violations.is_empty(),
+                "{} at {rate}/M: {:#?}",
+                spec.name,
+                r.violations
+            );
+            assert_eq!(r.total_mem_ops as usize, wl.total_mem_ops());
+        }
+    }
+}
+
+#[test]
+fn fault_free_overhead_is_small_across_the_suite() {
+    // Paper Figure 3, fault rate 0: FtDirCMP's execution time matches
+    // DirCMP's within a few percent on every benchmark.
+    let mut worst: f64 = 1.0;
+    for spec in workloads::suite() {
+        let wl = spec.generate(16, 13);
+        let (base, ft) = ftdircmp::compare_protocols(&wl, 13).unwrap();
+        let rel = ft.relative_execution_time(&base);
+        assert!(
+            (0.85..1.15).contains(&rel),
+            "{}: fault-free overhead {rel}",
+            spec.name
+        );
+        worst = worst.max(rel);
+    }
+    assert!(worst < 1.15, "worst fault-free overhead {worst}");
+}
+
+#[test]
+fn message_overhead_comes_from_ownership_acks() {
+    // Paper Figure 4: the entire overhead is the ownership-acknowledgment
+    // category; other classes stay (nearly) identical.
+    use ftdircmp::VcClass;
+    for spec in workloads::suite().into_iter().take(4) {
+        let wl = spec.generate(16, 17);
+        let (base, ft) = ftdircmp::compare_protocols(&wl, 17).unwrap();
+        let ownership = ft.stats.messages_by_class(VcClass::OwnershipAck);
+        assert!(ownership > 0, "{}", spec.name);
+        let added = ft.stats.total_messages() as i64 - base.stats.total_messages() as i64;
+        // Ownership acks account for at least 80% of the added messages.
+        assert!(
+            ownership as i64 >= added * 8 / 10,
+            "{}: {} added, {} ownership",
+            spec.name,
+            added,
+            ownership
+        );
+        assert_eq!(
+            ft.stats.messages_by_class(VcClass::Ping),
+            0,
+            "{}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn unordered_network_extension_runs_the_suite() {
+    // Experiment E11 substrate check: FtDirCMP on adaptive routing.
+    for spec in workloads::suite().into_iter().take(3) {
+        let wl = spec.generate(16, 23);
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_adaptive_routing()
+            .with_fault_rate(1000.0)
+            .with_seed(23);
+        cfg.watchdog_cycles = 3_000_000;
+        let r = System::run_workload(cfg, &wl)
+            .unwrap_or_else(|e| panic!("{} unordered: {e}", spec.name));
+        assert!(
+            r.violations.is_empty(),
+            "{}: {:#?}",
+            spec.name,
+            r.violations
+        );
+    }
+}
