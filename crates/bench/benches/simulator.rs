@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftdircmp_core::{System, SystemConfig};
-use ftdircmp_noc::{Mesh, MeshConfig, RouterId, VcClass};
-use ftdircmp_sim::{Cycle, DetRng};
+use ftdircmp_noc::{Mesh, MeshConfig, RouterId, Topology, VcClass};
+use ftdircmp_sim::{Cycle, DetRng, EventQueue};
 use ftdircmp_workloads::WorkloadSpec;
 
 fn bench_protocols(c: &mut Criterion) {
@@ -49,6 +49,63 @@ fn bench_mesh(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue(c: &mut Criterion) {
+    // Schedule/pop churn with the simulator's typical shape: a rolling
+    // window of in-flight events, each pop scheduling a couple more.
+    c.bench_function("event_queue_churn_100k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..64u64 {
+                q.schedule(Cycle::new(i), i);
+            }
+            let mut popped = 0u64;
+            while popped < 100_000 {
+                let (now, e) = q.pop().expect("queue never drains");
+                popped += 1;
+                if popped + q.len() as u64 * 2 < 100_000 + 64 {
+                    q.schedule(now + 1 + (e % 7), e.wrapping_mul(31));
+                    q.schedule(now + 3 + (e % 13), e.wrapping_mul(17));
+                }
+                std::hint::black_box(e);
+            }
+            std::hint::black_box(q.len())
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::new(8, 8);
+    // The allocation-free walker used by Mesh::send.
+    c.bench_function("route_xy_iter_all_pairs", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for a in 0..64u16 {
+                for bb in 0..64u16 {
+                    hops += topo
+                        .route_xy_iter(RouterId::new(a), RouterId::new(bb))
+                        .fold(0, |acc, l| {
+                            std::hint::black_box(l.dense_index());
+                            acc + 1
+                        });
+                }
+            }
+            std::hint::black_box(hops)
+        })
+    });
+    // The Vec-collecting wrapper, for comparison.
+    c.bench_function("route_xy_collect_all_pairs", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for a in 0..64u16 {
+                for bb in 0..64u16 {
+                    hops += topo.route_xy(RouterId::new(a), RouterId::new(bb)).len();
+                }
+            }
+            std::hint::black_box(hops)
+        })
+    });
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     c.bench_function("generate_suite", |b| {
         b.iter(|| {
@@ -63,6 +120,8 @@ criterion_group!(
     benches,
     bench_protocols,
     bench_mesh,
+    bench_event_queue,
+    bench_routing,
     bench_workload_generation
 );
 criterion_main!(benches);

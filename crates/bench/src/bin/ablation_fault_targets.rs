@@ -3,17 +3,19 @@
 //! which traffic — an extension of the paper's uniform-loss fault model.
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin ablation_fault_targets [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin ablation_fault_targets [-- --seeds N --jobs N]
 //! ```
 
-use ftdircmp_bench::{arg_u64, geomean_ratio, mean, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{geomean_ratio, mean, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::{SystemConfig, TimeoutKind};
 use ftdircmp_noc::{FaultConfig, VcClass};
 use ftdircmp_stats::table::{times, Table};
 use ftdircmp_workloads::WorkloadSpec;
 
 fn main() {
-    let seeds = arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     let rate = 5000.0;
     let spec = WorkloadSpec::named("barnes").expect("in suite");
     println!(
@@ -21,7 +23,28 @@ fn main() {
          (benchmark {}, {seeds} seeds; relative to the fault-free run).\n",
         spec.name
     );
-    let baseline = run_spec(&spec, &SystemConfig::ftdircmp(), seeds);
+
+    // Cell 0: fault-free baseline; then one targeted-loss cell per class.
+    let mut cells = vec![Cell::new(
+        format!("{}/baseline", spec.name),
+        spec.clone(),
+        SystemConfig::ftdircmp(),
+        seeds,
+    )];
+    for class in VcClass::ALL {
+        let mut cfg = SystemConfig::ftdircmp();
+        cfg.mesh.faults = FaultConfig::targeting(rate, vec![class]);
+        cfg.watchdog_cycles = 4_000_000;
+        cells.push(Cell::new(
+            format!("{}/target-{}", spec.name, class.label()),
+            spec.clone(),
+            cfg,
+            seeds,
+        ));
+    }
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
+    let baseline = &results[0];
+
     let mut t = Table::with_columns(&[
         "targeted class",
         "rel. exec. time",
@@ -31,30 +54,27 @@ fn main() {
         "lost-ackbd",
         "lost-data",
     ]);
-    for class in VcClass::ALL {
-        let mut cfg = SystemConfig::ftdircmp();
-        cfg.mesh.faults = FaultConfig::targeting(rate, vec![class]);
-        cfg.watchdog_cycles = 4_000_000;
-        let runs = run_spec(&spec, &cfg, seeds);
+    for (ci, class) in VcClass::ALL.iter().enumerate() {
+        let runs = &results[ci + 1];
         t.row(vec![
             class.label().into(),
-            times(geomean_ratio(&runs, &baseline, |r| r.cycles as f64)),
-            format!("{:.0}", mean(&runs, |r| r.messages_lost as f64)),
+            times(geomean_ratio(runs, baseline, |r| r.cycles as f64)),
+            format!("{:.0}", mean(runs, |r| r.messages_lost as f64)),
             format!(
                 "{:.0}",
-                mean(&runs, |r| r.stats.timeouts(TimeoutKind::LostRequest) as f64)
+                mean(runs, |r| r.stats.timeouts(TimeoutKind::LostRequest) as f64)
             ),
             format!(
                 "{:.0}",
-                mean(&runs, |r| r.stats.timeouts(TimeoutKind::LostUnblock) as f64)
+                mean(runs, |r| r.stats.timeouts(TimeoutKind::LostUnblock) as f64)
             ),
             format!(
                 "{:.0}",
-                mean(&runs, |r| r.stats.timeouts(TimeoutKind::LostAckBd) as f64)
+                mean(runs, |r| r.stats.timeouts(TimeoutKind::LostAckBd) as f64)
             ),
             format!(
                 "{:.0}",
-                mean(&runs, |r| r.stats.timeouts(TimeoutKind::LostData) as f64)
+                mean(runs, |r| r.stats.timeouts(TimeoutKind::LostData) as f64)
             ),
         ]);
     }

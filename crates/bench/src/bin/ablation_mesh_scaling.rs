@@ -3,10 +3,11 @@
 //! confirms the fault-tolerance overhead does not grow with the mesh).
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin ablation_mesh_scaling [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin ablation_mesh_scaling [-- --seeds N --jobs N]
 //! ```
 
-use ftdircmp_bench::{arg_u64, geomean_ratio, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{geomean_ratio, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::SystemConfig;
 use ftdircmp_stats::table::{signed_percent, times, Table};
 use ftdircmp_workloads::WorkloadSpec;
@@ -14,13 +15,33 @@ use ftdircmp_workloads::WorkloadSpec;
 const MESHES: [(u16, u16); 4] = [(2, 2), (4, 2), (4, 4), (8, 4)];
 
 fn main() {
-    let seeds = arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     let spec = WorkloadSpec::named("ocean").expect("in suite");
     println!(
         "Scalability ablation: FtDirCMP overhead vs. mesh size\n\
          (benchmark {}, {seeds} seeds per cell).\n",
         spec.name
     );
+
+    // Two cells per mesh size: DirCMP baseline then FtDirCMP.
+    let mut cells = Vec::new();
+    for (w, hgt) in MESHES {
+        cells.push(Cell::new(
+            format!("{}/{w}x{hgt}-dircmp", spec.name),
+            spec.clone(),
+            SystemConfig::dircmp().with_mesh(w, hgt),
+            seeds,
+        ));
+        cells.push(Cell::new(
+            format!("{}/{w}x{hgt}-ftdircmp", spec.name),
+            spec.clone(),
+            SystemConfig::ftdircmp().with_mesh(w, hgt),
+            seeds,
+        ));
+    }
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
+
     let mut t = Table::with_columns(&[
         "mesh",
         "cores",
@@ -28,17 +49,15 @@ fn main() {
         "message overhead",
         "byte overhead",
     ]);
-    for (w, hgt) in MESHES {
-        let base_cfg = SystemConfig::dircmp().with_mesh(w, hgt);
-        let ft_cfg = SystemConfig::ftdircmp().with_mesh(w, hgt);
-        let base = run_spec(&spec, &base_cfg, seeds);
-        let ft = run_spec(&spec, &ft_cfg, seeds);
-        let time = geomean_ratio(&ft, &base, |r| r.cycles as f64);
-        let msgs = geomean_ratio(&ft, &base, |r| r.stats.total_messages() as f64) - 1.0;
-        let bytes = geomean_ratio(&ft, &base, |r| r.stats.total_bytes() as f64) - 1.0;
+    for (mi, (w, hgt)) in MESHES.iter().enumerate() {
+        let base = &results[mi * 2];
+        let ft = &results[mi * 2 + 1];
+        let time = geomean_ratio(ft, base, |r| r.cycles as f64);
+        let msgs = geomean_ratio(ft, base, |r| r.stats.total_messages() as f64) - 1.0;
+        let bytes = geomean_ratio(ft, base, |r| r.stats.total_bytes() as f64) - 1.0;
         t.row(vec![
             format!("{w}x{hgt}"),
-            (u32::from(w) * u32::from(hgt)).to_string(),
+            (u32::from(*w) * u32::from(*hgt)).to_string(),
             times(time),
             signed_percent(msgs),
             signed_percent(bytes),

@@ -4,37 +4,64 @@
 //! and measure what it buys, under both protocols.
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin ablation_migratory [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin ablation_migratory [-- --seeds N --jobs N]
 //! ```
 
-use ftdircmp_bench::{arg_u64, benchmarks, geomean_ratio, mean, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{benchmarks, geomean_ratio, mean, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::SystemConfig;
 use ftdircmp_stats::table::{times, Table};
 
 fn main() {
-    let seeds = arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     println!(
         "Migratory-sharing ablation ({seeds} seeds): execution time without the\n\
          optimization relative to with it (values > 1.0 = the optimization helps).\n"
     );
+
+    // Four cells per benchmark: (DirCMP, FtDirCMP) × (on, off).
+    let specs = benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for (proto, base_cfg) in [
+            ("dircmp", SystemConfig::dircmp()),
+            ("ftdircmp", SystemConfig::ftdircmp()),
+        ] {
+            cells.push(Cell::new(
+                format!("{}/{proto}-on", spec.name),
+                spec.clone(),
+                base_cfg.clone(),
+                seeds,
+            ));
+            let mut off_cfg = base_cfg;
+            off_cfg.migratory_sharing = false;
+            cells.push(Cell::new(
+                format!("{}/{proto}-off", spec.name),
+                spec.clone(),
+                off_cfg,
+                seeds,
+            ));
+        }
+    }
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
+
     let mut t = Table::with_columns(&[
         "benchmark",
         "grants (FtDirCMP)",
         "DirCMP off/on",
         "FtDirCMP off/on",
     ]);
-    for spec in benchmarks() {
+    for (si, spec) in specs.iter().enumerate() {
         let mut rows: Vec<String> = vec![spec.name.to_string()];
         let mut grants = 0.0;
-        for base_cfg in [SystemConfig::dircmp(), SystemConfig::ftdircmp()] {
-            let on = run_spec(&spec, &base_cfg, seeds);
-            let mut off_cfg = base_cfg.clone();
-            off_cfg.migratory_sharing = false;
-            let off = run_spec(&spec, &off_cfg, seeds);
-            if base_cfg.protocol.is_fault_tolerant() {
-                grants = mean(&on, |r| r.stats.migratory_grants.get() as f64);
+        for proto in 0..2 {
+            let on = &results[si * 4 + proto * 2];
+            let off = &results[si * 4 + proto * 2 + 1];
+            if proto == 1 {
+                grants = mean(on, |r| r.stats.migratory_grants.get() as f64);
             }
-            rows.push(times(geomean_ratio(&off, &on, |r| r.cycles as f64)));
+            rows.push(times(geomean_ratio(off, on, |r| r.cycles as f64)));
         }
         rows.insert(1, format!("{grants:.0}"));
         t.row(rows);

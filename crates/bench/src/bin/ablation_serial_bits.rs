@@ -7,16 +7,20 @@
 //! width leaves.
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin ablation_serial_bits [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin ablation_serial_bits [-- --seeds N --jobs N]
 //! ```
 
-use ftdircmp_bench::{mean, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{mean, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::SystemConfig;
 use ftdircmp_stats::table::Table;
 use ftdircmp_workloads::WorkloadSpec;
 
+const BITS: [u8; 6] = [2, 3, 4, 6, 8, 12];
+
 fn main() {
-    let seeds = ftdircmp_bench::arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     let rate = 2000.0;
     let spec = WorkloadSpec::named("barnes").expect("in suite");
     println!(
@@ -24,6 +28,23 @@ fn main() {
          (benchmark {}, {seeds} seeds per row).\n",
         spec.name
     );
+
+    let cells: Vec<Cell> = BITS
+        .iter()
+        .map(|&bits| {
+            let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
+            cfg.ft.serial_bits = bits;
+            cfg.watchdog_cycles = 4_000_000;
+            Cell::new(
+                format!("{}/bits-{bits}", spec.name),
+                spec.clone(),
+                cfg,
+                seeds,
+            )
+        })
+        .collect();
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
+
     let mut t = Table::with_columns(&[
         "serial bits",
         "wrap after",
@@ -31,20 +52,13 @@ fn main() {
         "stale discards",
         "exec cycles",
     ]);
-    for bits in [2u8, 3, 4, 6, 8, 12] {
-        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
-        cfg.ft.serial_bits = bits;
-        cfg.watchdog_cycles = 4_000_000;
-        let runs = run_spec(&spec, &cfg, seeds);
+    for (bits, runs) in BITS.iter().zip(&results) {
         t.row(vec![
             bits.to_string(),
             format!("{} reissues", 1u32 << bits),
-            format!("{:.0}", mean(&runs, |r| r.stats.reissues.get() as f64)),
-            format!(
-                "{:.0}",
-                mean(&runs, |r| r.stats.stale_discards.get() as f64)
-            ),
-            format!("{:.0}", mean(&runs, |r| r.cycles as f64)),
+            format!("{:.0}", mean(runs, |r| r.stats.reissues.get() as f64)),
+            format!("{:.0}", mean(runs, |r| r.stats.stale_discards.get() as f64)),
+            format!("{:.0}", mean(runs, |r| r.cycles as f64)),
         ]);
     }
     println!("{}", t.render());

@@ -8,19 +8,30 @@
 //! recovery traffic.
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin ablation_timeouts [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin ablation_timeouts [-- --seeds N --jobs N]
 //! ```
 
-use ftdircmp_bench::{geomean_ratio, mean, run_spec, DEFAULT_SEEDS};
-use ftdircmp_core::SystemConfig;
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{geomean_ratio, mean, BenchArgs, DEFAULT_SEEDS};
+use ftdircmp_core::{SimReport, SystemConfig};
 use ftdircmp_stats::table::{times, Table};
 use ftdircmp_workloads::WorkloadSpec;
 
 const TIMEOUTS: [u64; 6] = [300, 600, 1200, 2400, 4800, 9600];
+const RATES: [f64; 2] = [0.0, 1000.0];
 
-fn sweep(spec: &WorkloadSpec, rate: f64, seeds: u64) {
+fn timeout_config(rate: f64, timeout: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
+    cfg.ft.lost_request_timeout = timeout;
+    cfg.ft.lost_unblock_timeout = timeout;
+    cfg.ft.lost_ackbd_timeout = (timeout * 2 / 3).max(50);
+    cfg.ft.lost_data_timeout = timeout * 2;
+    cfg.watchdog_cycles = 4_000_000;
+    cfg
+}
+
+fn render(spec: &WorkloadSpec, rate: f64, baseline: &[SimReport], sweeps: &[Vec<SimReport>]) {
     println!("benchmark {} at {rate:.0} lost msgs/million:\n", spec.name);
-    let baseline = run_spec(spec, &SystemConfig::ftdircmp(), seeds);
     let mut t = Table::with_columns(&[
         "timeout base",
         "rel. exec. time",
@@ -28,25 +39,18 @@ fn sweep(spec: &WorkloadSpec, rate: f64, seeds: u64) {
         "false positives",
         "ping msgs",
     ]);
-    for timeout in TIMEOUTS {
-        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
-        cfg.ft.lost_request_timeout = timeout;
-        cfg.ft.lost_unblock_timeout = timeout;
-        cfg.ft.lost_ackbd_timeout = (timeout * 2 / 3).max(50);
-        cfg.ft.lost_data_timeout = timeout * 2;
-        cfg.watchdog_cycles = 4_000_000;
-        let runs = run_spec(spec, &cfg, seeds);
+    for (timeout, runs) in TIMEOUTS.iter().zip(sweeps) {
         t.row(vec![
             format!("{timeout}"),
-            times(geomean_ratio(&runs, &baseline, |r| r.cycles as f64)),
-            format!("{:.0}", mean(&runs, |r| r.stats.total_timeouts() as f64)),
+            times(geomean_ratio(runs, baseline, |r| r.cycles as f64)),
+            format!("{:.0}", mean(runs, |r| r.stats.total_timeouts() as f64)),
             format!(
                 "{:.0}",
-                mean(&runs, |r| r.stats.false_positives.get() as f64)
+                mean(runs, |r| r.stats.false_positives.get() as f64)
             ),
             format!(
                 "{:.0}",
-                mean(&runs, |r| {
+                mean(runs, |r| {
                     r.stats.messages_by_class(ftdircmp_noc::VcClass::Ping) as f64
                 })
             ),
@@ -56,14 +60,40 @@ fn sweep(spec: &WorkloadSpec, rate: f64, seeds: u64) {
 }
 
 fn main() {
-    let seeds = ftdircmp_bench::arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     println!(
         "Ablation E9: fault-detection timeout length vs. performance and false\n\
          positives (relative to the default-timeout fault-free run).\n"
     );
     let spec = WorkloadSpec::named("unstructured").expect("in suite");
-    sweep(&spec, 0.0, seeds);
-    sweep(&spec, 1000.0, seeds);
+
+    // Per rate: one default-timeout baseline cell plus one cell per timeout.
+    let mut cells = Vec::new();
+    for rate in RATES {
+        cells.push(Cell::new(
+            format!("{}/baseline-{rate:.0}", spec.name),
+            spec.clone(),
+            SystemConfig::ftdircmp(),
+            seeds,
+        ));
+        for timeout in TIMEOUTS {
+            cells.push(Cell::new(
+                format!("{}/t{timeout}-{rate:.0}", spec.name),
+                spec.clone(),
+                timeout_config(rate, timeout),
+                seeds,
+            ));
+        }
+    }
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
+
+    let cols = 1 + TIMEOUTS.len();
+    for (ri, rate) in RATES.iter().enumerate() {
+        let baseline = &results[ri * cols];
+        let sweeps = &results[ri * cols + 1..(ri + 1) * cols];
+        render(&spec, *rate, baseline, sweeps);
+    }
     println!(
         "Shape to observe (paper §4.2): with faults, short timeouts recover\n\
          faster but below the service latency they only add false positives;\n\

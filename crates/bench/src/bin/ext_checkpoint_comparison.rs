@@ -8,11 +8,12 @@
 //! throughput (see `ftdircmp_bench::checkpoint`).
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin ext_checkpoint_comparison [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin ext_checkpoint_comparison [-- --seeds N --jobs N]
 //! ```
 
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
 use ftdircmp_bench::checkpoint::{rate_per_cycle, CheckpointModel};
-use ftdircmp_bench::{arg_u64, geomean_ratio, mean, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::{geomean_ratio, mean, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::SystemConfig;
 use ftdircmp_stats::table::{times, Table};
 use ftdircmp_workloads::WorkloadSpec;
@@ -20,7 +21,8 @@ use ftdircmp_workloads::WorkloadSpec;
 const RATES: [f64; 5] = [0.0, 125.0, 500.0, 1000.0, 2000.0];
 
 fn main() {
-    let seeds = arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     let spec = WorkloadSpec::named("ocean").expect("in suite");
     let model = CheckpointModel::default();
     println!(
@@ -30,9 +32,28 @@ fn main() {
         spec.name, model.checkpoint_cost, model.detection_latency, model.restore_cost
     );
 
-    let base = run_spec(&spec, &SystemConfig::dircmp(), seeds);
-    let base_cycles = mean(&base, |r| r.cycles as f64) as u64;
-    let base_msgs = mean(&base, |r| r.stats.total_messages() as f64) as u64;
+    // Cell 0: DirCMP baseline; then one FtDirCMP cell per fault rate.
+    let mut cells = vec![Cell::new(
+        format!("{}/dircmp", spec.name),
+        spec.clone(),
+        SystemConfig::dircmp(),
+        seeds,
+    )];
+    for rate in RATES {
+        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
+        cfg.watchdog_cycles = 3_000_000;
+        cells.push(Cell::new(
+            format!("{}/ft-{rate:.0}", spec.name),
+            spec.clone(),
+            cfg,
+            seeds,
+        ));
+    }
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
+
+    let base = &results[0];
+    let base_cycles = mean(base, |r| r.cycles as f64) as u64;
+    let base_msgs = mean(base, |r| r.stats.total_messages() as f64) as u64;
 
     let mut t = Table::with_columns(&[
         "lost msgs/million",
@@ -40,12 +61,10 @@ fn main() {
         "checkpoint (model)",
         "FtDirCMP (measured)",
     ]);
-    for rate in RATES {
-        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
-        cfg.watchdog_cycles = 3_000_000;
-        let ft = run_spec(&spec, &cfg, seeds);
-        let measured = geomean_ratio(&ft, &base, |r| r.cycles as f64);
-        let per_cycle = rate_per_cycle(rate, base_msgs, base_cycles);
+    for (ri, rate) in RATES.iter().enumerate() {
+        let ft = &results[ri + 1];
+        let measured = geomean_ratio(ft, base, |r| r.cycles as f64);
+        let per_cycle = rate_per_cycle(*rate, base_msgs, base_cycles);
         let model_time = model.optimal_relative_time(per_cycle);
         t.row(vec![
             format!("{rate:.0}"),

@@ -4,44 +4,68 @@
 //! full disambiguation burden.
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin ext_unordered_network [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin ext_unordered_network [-- --seeds N --jobs N]
 //! ```
 
-use ftdircmp_bench::{benchmarks, geomean_ratio, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{benchmarks, geomean_ratio, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::SystemConfig;
 use ftdircmp_stats::table::{times, Table};
 
 fn main() {
-    let seeds = ftdircmp_bench::arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     println!(
         "Extension E11: FtDirCMP on an unordered network (randomized minimal\n\
          adaptive routing), fault-free and at 1000 lost msgs/million.\n"
     );
+
+    // Three cells per benchmark: XY baseline, adaptive, adaptive + faults.
+    let specs = benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        cells.push(Cell::new(
+            format!("{}/xy", spec.name),
+            spec.clone(),
+            SystemConfig::ftdircmp(),
+            seeds,
+        ));
+        cells.push(Cell::new(
+            format!("{}/adaptive", spec.name),
+            spec.clone(),
+            SystemConfig::ftdircmp().with_adaptive_routing(),
+            seeds,
+        ));
+        let mut faulty_cfg = SystemConfig::ftdircmp()
+            .with_adaptive_routing()
+            .with_fault_rate(1000.0);
+        faulty_cfg.watchdog_cycles = 4_000_000;
+        cells.push(Cell::new(
+            format!("{}/adaptive-faulty", spec.name),
+            spec.clone(),
+            faulty_cfg,
+            seeds,
+        ));
+    }
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
+
     let mut t = Table::with_columns(&[
         "benchmark",
         "adaptive/xy exec time",
         "adaptive+faults/xy",
         "stale discards (faulty)",
     ]);
-    for spec in benchmarks() {
-        let xy = run_spec(&spec, &SystemConfig::ftdircmp(), seeds);
-        let adaptive = run_spec(
-            &spec,
-            &SystemConfig::ftdircmp().with_adaptive_routing(),
-            seeds,
-        );
-        let mut faulty_cfg = SystemConfig::ftdircmp()
-            .with_adaptive_routing()
-            .with_fault_rate(1000.0);
-        faulty_cfg.watchdog_cycles = 4_000_000;
-        let faulty = run_spec(&spec, &faulty_cfg, seeds);
+    for (si, spec) in specs.iter().enumerate() {
+        let xy = &results[si * 3];
+        let adaptive = &results[si * 3 + 1];
+        let faulty = &results[si * 3 + 2];
         t.row(vec![
             spec.name.into(),
-            times(geomean_ratio(&adaptive, &xy, |r| r.cycles as f64)),
-            times(geomean_ratio(&faulty, &xy, |r| r.cycles as f64)),
+            times(geomean_ratio(adaptive, xy, |r| r.cycles as f64)),
+            times(geomean_ratio(faulty, xy, |r| r.cycles as f64)),
             format!(
                 "{:.0}",
-                ftdircmp_bench::mean(&faulty, |r| r.stats.stale_discards.get() as f64)
+                ftdircmp_bench::mean(faulty, |r| r.stats.stale_discards.get() as f64)
             ),
         ]);
     }

@@ -9,37 +9,64 @@
 //! * DirCMP cannot execute at all for any nonzero rate.
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin fig3_execution_time [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin fig3_execution_time \
+//!     [-- --seeds N --jobs N --csv FILE --bench-json FILE]
 //! ```
 
-use ftdircmp_bench::{benchmarks, geomean_ratio, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::campaign::{Campaign, CampaignTiming, Cell};
+use ftdircmp_bench::{benchmarks, geomean_ratio, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::SystemConfig;
 use ftdircmp_stats::table::{times, Table};
 
 const RATES: [f64; 6] = [0.0, 125.0, 250.0, 500.0, 1000.0, 2000.0];
 
 fn main() {
-    let seeds = ftdircmp_bench::arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
+    let opts = Campaign::from_args(&args);
     println!(
         "Figure 3. Execution time of FtDirCMP relative to DirCMP (fault-free),\n\
          for fault rates of 0..2000 messages lost per million. {seeds} seeds per cell.\n"
     );
 
+    // One cell per (benchmark, column): the DirCMP baseline plus one
+    // FtDirCMP cell per fault rate, in table order.
+    let specs = benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        cells.push(Cell::new(
+            format!("{}/dircmp", spec.name),
+            spec.clone(),
+            SystemConfig::dircmp(),
+            seeds,
+        ));
+        for rate in RATES {
+            let mut cfg = SystemConfig::ftdircmp().with_fault_rate(rate);
+            cfg.watchdog_cycles = 3_000_000;
+            cells.push(Cell::new(
+                format!("{}/ft-{rate:.0}", spec.name),
+                spec.clone(),
+                cfg,
+                seeds,
+            ));
+        }
+    }
+    let (results, timing) = CampaignTiming::measure(&cells, &opts);
+
     let mut header: Vec<String> = vec!["benchmark".into(), "DirCMP".into()];
     header.extend(RATES.iter().map(|r| format!("Ft-{r:.0}")));
     let mut t = Table::new(header);
 
+    let cols = 1 + RATES.len();
     let mut per_rate_ratios: Vec<Vec<f64>> = vec![Vec::new(); RATES.len()];
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
-    for spec in benchmarks() {
-        let base = run_spec(&spec, &SystemConfig::dircmp(), seeds);
+    for (si, spec) in specs.iter().enumerate() {
+        let base = &results[si * cols];
         let mut row = vec![spec.name.to_string(), times(1.0)];
         let mut csv_row = vec![spec.name.to_string()];
-        for (i, rate) in RATES.iter().enumerate() {
-            let mut cfg = SystemConfig::ftdircmp().with_fault_rate(*rate);
-            cfg.watchdog_cycles = 3_000_000;
-            let ft = run_spec(&spec, &cfg, seeds);
-            let rel = geomean_ratio(&ft, &base, |r| r.cycles as f64);
+        for i in 0..RATES.len() {
+            let ft = &results[si * cols + 1 + i];
+            let rel = geomean_ratio(ft, base, |r| r.cycles as f64);
             per_rate_ratios[i].push(rel);
             row.push(times(rel));
             csv_row.push(format!("{rel:.4}"));
@@ -47,7 +74,7 @@ fn main() {
         t.row(row);
         csv_rows.push(csv_row);
     }
-    if let Some(path) = ftdircmp_bench::arg_csv() {
+    if let Some(path) = args.csv() {
         let header: Vec<String> = std::iter::once("benchmark".to_string())
             .chain(RATES.iter().map(|r| format!("ft_{r:.0}")))
             .collect();
@@ -67,4 +94,21 @@ fn main() {
          rate — see `cargo test --test dircmp_deadlock` — so only its fault-free\n\
          bar exists, exactly as in the paper.)"
     );
+
+    if let Some(path) = args.value_of("--bench-json") {
+        let json = format!(
+            "{{\n  \"campaign\": \"fig3_execution_time\",\n  \"jobs\": {},\n  \
+             \"wall_seconds\": {:.3},\n  \"simulated_cycles\": {},\n  \
+             \"simulated_cycles_per_second\": {:.0},\n  \"events\": {},\n  \
+             \"events_per_second\": {:.0}\n}}\n",
+            timing.jobs,
+            timing.wall_seconds,
+            timing.simulated_cycles,
+            timing.cycles_per_second(),
+            timing.events,
+            timing.events_per_second(),
+        );
+        std::fs::write(path, json).expect("write bench json");
+        println!("(wrote {path})");
+    }
 }

@@ -7,20 +7,41 @@
 //! ownership-acknowledgment category.
 //!
 //! ```text
-//! cargo run --release -p ftdircmp-bench --bin fig4_network_overhead [-- --seeds N]
+//! cargo run --release -p ftdircmp-bench --bin fig4_network_overhead [-- --seeds N --jobs N]
 //! ```
 
-use ftdircmp_bench::{benchmarks, mean, run_spec, DEFAULT_SEEDS};
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{benchmarks, mean, BenchArgs, DEFAULT_SEEDS};
 use ftdircmp_core::SystemConfig;
 use ftdircmp_noc::VcClass;
 use ftdircmp_stats::table::{signed_percent, Table};
 
 fn main() {
-    let seeds = ftdircmp_bench::arg_u64("--seeds", DEFAULT_SEEDS);
+    let args = BenchArgs::parse();
+    let seeds = args.u64_flag("--seeds", DEFAULT_SEEDS);
     println!(
         "Figure 4. Network overhead of FtDirCMP compared to DirCMP without faults\n\
          ({seeds} seeds per benchmark; overhead = FtDirCMP/DirCMP - 1).\n"
     );
+
+    // Two cells per benchmark: DirCMP baseline then FtDirCMP.
+    let specs = benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        cells.push(Cell::new(
+            format!("{}/dircmp", spec.name),
+            spec.clone(),
+            SystemConfig::dircmp(),
+            seeds,
+        ));
+        cells.push(Cell::new(
+            format!("{}/ftdircmp", spec.name),
+            spec.clone(),
+            SystemConfig::ftdircmp(),
+            seeds,
+        ));
+    }
+    let results = run_campaign(&cells, &Campaign::from_args(&args));
 
     let mut t = Table::with_columns(&[
         "benchmark",
@@ -30,14 +51,14 @@ fn main() {
     ]);
     let (mut sum_msg, mut sum_byte) = (0.0, 0.0);
     let mut n = 0.0;
-    for spec in benchmarks() {
-        let base = run_spec(&spec, &SystemConfig::dircmp(), seeds);
-        let ft = run_spec(&spec, &SystemConfig::ftdircmp(), seeds);
-        let m_base = mean(&base, |r| r.stats.total_messages() as f64);
-        let m_ft = mean(&ft, |r| r.stats.total_messages() as f64);
-        let b_base = mean(&base, |r| r.stats.total_bytes() as f64);
-        let b_ft = mean(&ft, |r| r.stats.total_bytes() as f64);
-        let ownership = mean(&ft, |r| {
+    for (si, spec) in specs.iter().enumerate() {
+        let base = &results[si * 2];
+        let ft = &results[si * 2 + 1];
+        let m_base = mean(base, |r| r.stats.total_messages() as f64);
+        let m_ft = mean(ft, |r| r.stats.total_messages() as f64);
+        let b_base = mean(base, |r| r.stats.total_bytes() as f64);
+        let b_ft = mean(ft, |r| r.stats.total_bytes() as f64);
+        let ownership = mean(ft, |r| {
             r.stats.messages_by_class(VcClass::OwnershipAck) as f64
         });
         let msg_ov = m_ft / m_base - 1.0;
@@ -61,10 +82,11 @@ fn main() {
     println!("{}", t.render());
 
     // Per-class breakdown for one representative benchmark (the stacked
-    // bars of the paper's figure).
-    let spec = benchmarks().remove(0);
-    let base = run_spec(&spec, &SystemConfig::dircmp(), seeds);
-    let ft = run_spec(&spec, &SystemConfig::ftdircmp(), seeds);
+    // bars of the paper's figure). The campaign already ran these cells;
+    // determinism makes reuse identical to a fresh run.
+    let spec = &specs[0];
+    let base = &results[0];
+    let ft = &results[1];
     println!(
         "Per-class breakdown for {} (messages, then bytes):\n",
         spec.name
@@ -75,17 +97,17 @@ fn main() {
             class.label().into(),
             format!(
                 "{:.0}",
-                mean(&base, |r| r.stats.messages_by_class(class) as f64)
+                mean(base, |r| r.stats.messages_by_class(class) as f64)
             ),
             format!(
                 "{:.0}",
-                mean(&ft, |r| r.stats.messages_by_class(class) as f64)
+                mean(ft, |r| r.stats.messages_by_class(class) as f64)
             ),
             format!(
                 "{:.0}",
-                mean(&base, |r| r.stats.bytes_by_class(class) as f64)
+                mean(base, |r| r.stats.bytes_by_class(class) as f64)
             ),
-            format!("{:.0}", mean(&ft, |r| r.stats.bytes_by_class(class) as f64)),
+            format!("{:.0}", mean(ft, |r| r.stats.bytes_by_class(class) as f64)),
         ]);
     }
     println!("{}", t.render());

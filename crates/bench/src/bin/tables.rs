@@ -165,7 +165,7 @@ fn table4() {
 }
 
 fn main() {
-    let which = ftdircmp_bench::arg_u64("--table", 0);
+    let which = ftdircmp_bench::BenchArgs::parse().u64_flag("--table", 0);
     match which {
         1 => table1(),
         2 => table2(),

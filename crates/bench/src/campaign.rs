@@ -1,0 +1,242 @@
+//! Parallel deterministic campaign runner.
+//!
+//! Every figure/table binary sweeps a grid of *(workload spec, system
+//! configuration, seed)* cells, and every cell is an independent,
+//! fully-deterministic simulation — an embarrassingly parallel campaign.
+//! This module fans the cells across a scoped worker pool while keeping the
+//! output **byte-identical** to a sequential sweep:
+//!
+//! * cells are enumerated up front in a deterministic order;
+//! * each (cell, seed) unit writes its [`SimReport`] into a pre-indexed
+//!   result slot, so aggregation order never depends on thread scheduling;
+//! * each unit runs the exact same per-seed construction as
+//!   [`crate::run_spec`] (shared helper), so a campaign at `--jobs 1` and at
+//!   `--jobs N` produce identical reports.
+//!
+//! Worker count comes from `--jobs N` on the command line, then the
+//! `FTDIRCMP_JOBS` environment variable, then
+//! [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+//! use ftdircmp_core::SystemConfig;
+//! use ftdircmp_workloads::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::named("water-sp").unwrap();
+//! let cells = vec![
+//!     Cell::new("base", spec.clone(), SystemConfig::dircmp(), 2),
+//!     Cell::new("ft", spec, SystemConfig::ftdircmp(), 2),
+//! ];
+//! let results = run_campaign(&cells, &Campaign { jobs: 2, progress: false });
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results[0].len(), 2); // one report per seed, in seed order
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use ftdircmp_core::{RunError, SimReport, SystemConfig};
+use ftdircmp_workloads::WorkloadSpec;
+
+use crate::{expect_coherent, run_seed_fallible};
+
+/// One campaign cell: a workload under a configuration, averaged over
+/// `seeds` seeds.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Display label used in progress lines (e.g. `"ocean/ftdircmp-1000"`).
+    pub label: String,
+    /// Workload to generate.
+    pub spec: WorkloadSpec,
+    /// System configuration to run it under.
+    pub config: SystemConfig,
+    /// Number of seeds (reports come back in seed order).
+    pub seeds: u64,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(
+        label: impl Into<String>,
+        spec: WorkloadSpec,
+        config: SystemConfig,
+        seeds: u64,
+    ) -> Self {
+        Cell {
+            label: label.into(),
+            spec,
+            config,
+            seeds,
+        }
+    }
+}
+
+/// Campaign execution options.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Worker threads. `1` runs inline on the calling thread (the
+    /// sequential reference path).
+    pub jobs: usize,
+    /// Print per-unit progress and wall time to stderr.
+    pub progress: bool,
+}
+
+impl Campaign {
+    /// Options from argv/environment: worker count per [`crate::BenchArgs::jobs`],
+    /// progress on.
+    pub fn from_args(args: &crate::BenchArgs) -> Self {
+        Campaign {
+            jobs: args.jobs(),
+            progress: true,
+        }
+    }
+}
+
+/// Runs every cell of the campaign, panicking (like [`crate::run_spec`]) on
+/// any failed or incoherent run.
+///
+/// Returns one `Vec<SimReport>` per input cell, index-aligned with `cells`
+/// and seed-ordered within each cell — identical to calling
+/// [`crate::run_spec`] on each cell in order.
+///
+/// # Panics
+///
+/// Panics if any run deadlocks or violates a coherence invariant.
+pub fn run_campaign(cells: &[Cell], opts: &Campaign) -> Vec<Vec<SimReport>> {
+    run_campaign_fallible(cells, opts)
+        .into_iter()
+        .zip(cells)
+        .map(|(results, cell)| {
+            results
+                .into_iter()
+                .enumerate()
+                .map(|(seed, r)| expect_coherent(cell.spec.name, seed as u64, r))
+                .collect()
+        })
+        .collect()
+}
+
+/// Like [`run_campaign`] but returns `Err` results untouched (used to
+/// demonstrate DirCMP's deadlock failure mode).
+pub fn run_campaign_fallible(
+    cells: &[Cell],
+    opts: &Campaign,
+) -> Vec<Vec<Result<SimReport, RunError>>> {
+    // Deterministic unit order: cells in input order, seeds ascending.
+    let units: Vec<(usize, u64)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, c)| (0..c.seeds).map(move |s| (ci, s)))
+        .collect();
+    let slots: Vec<OnceLock<Result<SimReport, RunError>>> =
+        units.iter().map(|_| OnceLock::new()).collect();
+    let total = units.len();
+    let completed = AtomicUsize::new(0);
+    let started = Instant::now();
+
+    let run_unit = |i: usize| {
+        let (ci, seed) = units[i];
+        let cell = &cells[ci];
+        let t = Instant::now();
+        let result = run_seed_fallible(&cell.spec, &cell.config, seed);
+        if opts.progress {
+            let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            let status = match &result {
+                Ok(r) => format!("{} cycles", r.cycles),
+                Err(e) => match e {
+                    RunError::Deadlock { at, .. } => format!("deadlock at cycle {at}"),
+                    RunError::InvalidConfig(_) => "invalid config".to_string(),
+                },
+            };
+            eprintln!(
+                "[campaign {n}/{total}] {} seed {seed}: {status} in {:.2}s",
+                cell.label,
+                t.elapsed().as_secs_f64()
+            );
+        }
+        assert!(
+            slots[i].set(result).is_ok(),
+            "campaign unit {i} computed twice"
+        );
+    };
+
+    let workers = opts.jobs.clamp(1, total.max(1));
+    if workers <= 1 {
+        (0..total).for_each(run_unit);
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    run_unit(i);
+                });
+            }
+        });
+    }
+    if opts.progress {
+        eprintln!(
+            "[campaign] {total} runs on {workers} worker(s) in {:.2}s",
+            started.elapsed().as_secs_f64()
+        );
+    }
+
+    // Reassemble into the pre-indexed shape: results[cell][seed].
+    let mut results: Vec<Vec<Result<SimReport, RunError>>> = cells
+        .iter()
+        .map(|c| Vec::with_capacity(c.seeds as usize))
+        .collect();
+    for (slot, &(ci, _)) in slots.into_iter().zip(&units) {
+        results[ci].push(slot.into_inner().expect("campaign unit completed"));
+    }
+    results
+}
+
+/// Wall-time and throughput summary of a campaign, for `BENCH_*.json`
+/// emission by `scripts/bench.sh`.
+#[derive(Debug, Clone)]
+pub struct CampaignTiming {
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total simulated cycles across all reports.
+    pub simulated_cycles: u64,
+    /// Total simulation events processed across all reports.
+    pub events: u64,
+}
+
+impl CampaignTiming {
+    /// Measures `run_campaign` over `cells`.
+    pub fn measure(cells: &[Cell], opts: &Campaign) -> (Vec<Vec<SimReport>>, CampaignTiming) {
+        let t = Instant::now();
+        let results = run_campaign(cells, opts);
+        let wall_seconds = t.elapsed().as_secs_f64();
+        let flat = results.iter().flatten();
+        let timing = CampaignTiming {
+            wall_seconds,
+            jobs: opts
+                .jobs
+                .clamp(1, results.iter().map(Vec::len).sum::<usize>().max(1)),
+            simulated_cycles: flat.clone().map(|r| r.cycles).sum(),
+            events: flat.map(|r| r.events).sum(),
+        };
+        (results, timing)
+    }
+
+    /// Simulated cycles per wall second.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.simulated_cycles as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Simulation events per wall second.
+    pub fn events_per_second(&self) -> f64 {
+        self.events as f64 / self.wall_seconds.max(1e-9)
+    }
+}

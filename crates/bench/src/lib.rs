@@ -5,6 +5,7 @@
 //! library holds the common machinery: running the benchmark suite across
 //! configurations and averaging across seeds.
 
+pub mod campaign;
 pub mod checkpoint;
 
 use ftdircmp_core::{RunError, SimReport, System, SystemConfig};
@@ -12,6 +13,40 @@ use ftdircmp_workloads::{suite, WorkloadSpec};
 
 /// Number of seeds averaged per (benchmark, configuration) cell.
 pub const DEFAULT_SEEDS: u64 = 3;
+
+/// Runs one seed of `spec` under `config` — the single unit of work both
+/// the sequential [`run_spec`] path and the parallel
+/// [`campaign::run_campaign`] path execute, so they cannot drift apart.
+///
+/// # Errors
+///
+/// Returns the run error (e.g. a DirCMP deadlock) untouched.
+pub fn run_seed_fallible(
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+    seed: u64,
+) -> Result<SimReport, RunError> {
+    let wl = spec.generate(config.tiles, 1000 + seed);
+    let cfg = config.clone().with_seed(1000 + seed);
+    System::run_workload(cfg, &wl)
+}
+
+/// Unwraps a run result, panicking on failure or invariant violations: a
+/// benchmark result from an incoherent run would be meaningless.
+///
+/// # Panics
+///
+/// Panics with the workload name and seed if the run failed or the checker
+/// reported violations.
+pub fn expect_coherent(name: &str, seed: u64, r: Result<SimReport, RunError>) -> SimReport {
+    let r = r.unwrap_or_else(|e| panic!("{name} (seed {seed}): {e}"));
+    assert!(
+        r.violations.is_empty(),
+        "{name} (seed {seed}): {:#?}",
+        r.violations
+    );
+    r
+}
 
 /// Runs `spec` under `config` for `seeds` seeds, returning all reports.
 ///
@@ -21,19 +56,7 @@ pub const DEFAULT_SEEDS: u64 = 3;
 /// from an incoherent run would be meaningless.
 pub fn run_spec(spec: &WorkloadSpec, config: &SystemConfig, seeds: u64) -> Vec<SimReport> {
     (0..seeds)
-        .map(|seed| {
-            let wl = spec.generate(config.tiles, 1000 + seed);
-            let cfg = config.clone().with_seed(1000 + seed);
-            let r = System::run_workload(cfg, &wl)
-                .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", spec.name));
-            assert!(
-                r.violations.is_empty(),
-                "{} (seed {seed}): {:#?}",
-                spec.name,
-                r.violations
-            );
-            r
-        })
+        .map(|seed| expect_coherent(spec.name, seed, run_seed_fallible(spec, config, seed)))
         .collect()
 }
 
@@ -45,23 +68,34 @@ pub fn run_spec_fallible(
     seeds: u64,
 ) -> Vec<Result<SimReport, RunError>> {
     (0..seeds)
-        .map(|seed| {
-            let wl = spec.generate(config.tiles, 1000 + seed);
-            let cfg = config.clone().with_seed(1000 + seed);
-            System::run_workload(cfg, &wl)
-        })
+        .map(|seed| run_seed_fallible(spec, config, seed))
         .collect()
 }
 
 /// Geometric mean of per-seed ratios `f(ft[i]) / f(base[i])`.
+///
+/// # Panics
+///
+/// Panics on empty or length-mismatched inputs: an aggregate over zero runs
+/// has no value, and returning NaN would silently poison downstream tables.
 pub fn geomean_ratio(ft: &[SimReport], base: &[SimReport], f: impl Fn(&SimReport) -> f64) -> f64 {
-    assert_eq!(ft.len(), base.len());
+    assert_eq!(
+        ft.len(),
+        base.len(),
+        "geomean_ratio: mismatched report counts"
+    );
+    assert!(!ft.is_empty(), "geomean_ratio: no reports to aggregate");
     let log_sum: f64 = ft.iter().zip(base).map(|(a, b)| (f(a) / f(b)).ln()).sum();
     (log_sum / ft.len() as f64).exp()
 }
 
 /// Arithmetic mean of `f` across reports.
+///
+/// # Panics
+///
+/// Panics on an empty slice (see [`geomean_ratio`]).
 pub fn mean(reports: &[SimReport], f: impl Fn(&SimReport) -> f64) -> f64 {
+    assert!(!reports.is_empty(), "mean: no reports to aggregate");
     reports.iter().map(&f).sum::<f64>() / reports.len() as f64
 }
 
@@ -99,23 +133,70 @@ pub fn write_csv(
     std::fs::write(path, out)
 }
 
+/// Command-line arguments, collected once and shared by all flag lookups
+/// (the bins previously re-collected `std::env::args()` per flag).
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    args: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Collects the process arguments.
+    pub fn parse() -> Self {
+        BenchArgs {
+            args: std::env::args().collect(),
+        }
+    }
+
+    /// Builds from an explicit argument list (tests).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        BenchArgs { args }
+    }
+
+    /// Value following `name`, if present.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Parses `--seeds N` style overrides.
+    pub fn u64_flag(&self, name: &str, default: u64) -> u64 {
+        self.value_of(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Optional `--csv FILE` destination.
+    pub fn csv(&self) -> Option<String> {
+        self.value_of("--csv").map(str::to_string)
+    }
+
+    /// Campaign worker count: `--jobs N`, then the `FTDIRCMP_JOBS`
+    /// environment variable, then [`std::thread::available_parallelism`].
+    pub fn jobs(&self) -> usize {
+        self.value_of("--jobs")
+            .and_then(|v| v.parse().ok())
+            .or_else(|| {
+                std::env::var("FTDIRCMP_JOBS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
 /// Optional `--csv FILE` destination from argv.
 pub fn arg_csv() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    BenchArgs::parse().csv()
 }
 
 /// Parses `--seeds N` style overrides from argv (very small helper).
 pub fn arg_u64(name: &str, default: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    BenchArgs::parse().u64_flag(name, default)
 }
 
 #[cfg(test)]

@@ -1,0 +1,170 @@
+//! The determinism contract (DESIGN.md §Campaign runner): a simulation run
+//! is a pure function of (workload spec, configuration, seed), and the
+//! parallel campaign runner reproduces the sequential sweep exactly.
+
+use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
+use ftdircmp_bench::{run_seed_fallible, run_spec};
+use ftdircmp_core::{SimReport, SystemConfig};
+use ftdircmp_workloads::WorkloadSpec;
+
+/// Every observable field of the report, as a comparable string. Stats and
+/// NoC counters go through Debug, which covers every counter at once.
+fn fingerprint(r: &SimReport) -> String {
+    format!(
+        "cycles={} ops={} mem_ops={} lost={} residual={} events={} \
+         max_util={:.12} mean_util={:.12}\nstats={:?}\nnoc={:?}\nviolations={:?}",
+        r.cycles,
+        r.total_ops,
+        r.total_mem_ops,
+        r.messages_lost,
+        r.residual_activity,
+        r.events,
+        r.max_link_utilization,
+        r.mean_link_utilization,
+        r.stats,
+        r.noc,
+        r.violations,
+    )
+}
+
+#[test]
+fn same_seed_twice_is_identical() {
+    for (name, config) in [
+        ("water-sp", SystemConfig::dircmp()),
+        ("ocean", SystemConfig::ftdircmp()),
+        ("ocean", SystemConfig::ftdircmp().with_fault_rate(1000.0)),
+    ] {
+        let spec = WorkloadSpec::named(name).unwrap();
+        let a = run_seed_fallible(&spec, &config, 7).unwrap();
+        let b = run_seed_fallible(&spec, &config, 7).unwrap();
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{name} under {:?} diverged across identical runs",
+            config.protocol
+        );
+    }
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guards against a fingerprint that compares nothing.
+    let spec = WorkloadSpec::named("ocean").unwrap();
+    let config = SystemConfig::ftdircmp();
+    let a = run_seed_fallible(&spec, &config, 0).unwrap();
+    let b = run_seed_fallible(&spec, &config, 1).unwrap();
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn parallel_campaign_matches_sequential() {
+    // ≥2 specs × 3 seeds, mixed protocols — the sequential reference is
+    // run_spec (what the bins did before the campaign runner existed).
+    let cells = vec![
+        Cell::new(
+            "water-sp/dircmp",
+            WorkloadSpec::named("water-sp").unwrap(),
+            SystemConfig::dircmp(),
+            3,
+        ),
+        Cell::new(
+            "water-sp/ftdircmp",
+            WorkloadSpec::named("water-sp").unwrap(),
+            SystemConfig::ftdircmp(),
+            3,
+        ),
+        Cell::new(
+            "ocean/ftdircmp",
+            WorkloadSpec::named("ocean").unwrap(),
+            SystemConfig::ftdircmp(),
+            3,
+        ),
+    ];
+
+    let sequential: Vec<Vec<SimReport>> = cells
+        .iter()
+        .map(|c| run_spec(&c.spec, &c.config, c.seeds))
+        .collect();
+    let jobs1 = run_campaign(
+        &cells,
+        &Campaign {
+            jobs: 1,
+            progress: false,
+        },
+    );
+    let jobs4 = run_campaign(
+        &cells,
+        &Campaign {
+            jobs: 4,
+            progress: false,
+        },
+    );
+
+    for (ci, cell) in cells.iter().enumerate() {
+        assert_eq!(jobs1[ci].len(), cell.seeds as usize);
+        assert_eq!(jobs4[ci].len(), cell.seeds as usize);
+        for seed in 0..cell.seeds as usize {
+            let want = fingerprint(&sequential[ci][seed]);
+            assert_eq!(
+                fingerprint(&jobs1[ci][seed]),
+                want,
+                "{} seed {seed}: campaign(jobs=1) != run_spec",
+                cell.label
+            );
+            assert_eq!(
+                fingerprint(&jobs4[ci][seed]),
+                want,
+                "{} seed {seed}: campaign(jobs=4) != run_spec",
+                cell.label
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_aggregates_match_sequential() {
+    // The quantity the figures actually print: geomean execution-time
+    // ratios must be bit-equal between parallel and sequential sweeps.
+    let specs = ["water-sp", "ocean"];
+    let cells: Vec<Cell> = specs
+        .iter()
+        .flat_map(|name| {
+            let spec = WorkloadSpec::named(name).unwrap();
+            [
+                Cell::new(
+                    format!("{name}/dircmp"),
+                    spec.clone(),
+                    SystemConfig::dircmp(),
+                    3,
+                ),
+                Cell::new(
+                    format!("{name}/ftdircmp"),
+                    spec,
+                    SystemConfig::ftdircmp(),
+                    3,
+                ),
+            ]
+        })
+        .collect();
+
+    let par = run_campaign(
+        &cells,
+        &Campaign {
+            jobs: 4,
+            progress: false,
+        },
+    );
+    for (si, name) in specs.iter().enumerate() {
+        let spec = WorkloadSpec::named(name).unwrap();
+        let base = run_spec(&spec, &SystemConfig::dircmp(), 3);
+        let ft = run_spec(&spec, &SystemConfig::ftdircmp(), 3);
+        let seq_ratio = ftdircmp_bench::geomean_ratio(&ft, &base, |r| r.cycles as f64);
+        let par_ratio =
+            ftdircmp_bench::geomean_ratio(&par[si * 2 + 1], &par[si * 2], |r| r.cycles as f64);
+        assert_eq!(
+            par_ratio.to_bits(),
+            seq_ratio.to_bits(),
+            "{name}: parallel geomean differs from sequential"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! small *overflow buffer* (a victim-buffer analogue) so the protocol never
 //! stalls on replacement. Overflow occupancy is reported in the statistics.
 
-use std::collections::HashMap;
+use ftdircmp_sim::FxHashMap;
 
 use crate::ids::LineAddr;
 
@@ -45,7 +45,7 @@ pub struct SetAssocCache<V> {
     sets: Vec<Vec<Way<V>>>,
     assoc: usize,
     clock: u64,
-    overflow: HashMap<LineAddr, V>,
+    overflow: FxHashMap<LineAddr, V>,
     overflow_peak: usize,
     evictions: u64,
 }
@@ -64,7 +64,7 @@ impl<V> SetAssocCache<V> {
                 .collect(),
             assoc: assoc as usize,
             clock: 0,
-            overflow: HashMap::new(),
+            overflow: FxHashMap::default(),
             overflow_peak: 0,
             evictions: 0,
         }

@@ -16,7 +16,7 @@
 //! Violations are recorded, not panicked on, so a simulation run can report
 //! them alongside its other results (and tests can assert their absence).
 
-use std::collections::HashMap;
+use ftdircmp_sim::FxHashMap;
 
 use ftdircmp_sim::Cycle;
 
@@ -59,7 +59,7 @@ struct LineTrack {
 #[derive(Debug, Clone)]
 pub struct Checker {
     enabled: bool,
-    lines: HashMap<LineAddr, LineTrack>,
+    lines: FxHashMap<LineAddr, LineTrack>,
     violations: Vec<String>,
     max_violations: usize,
 }
@@ -70,7 +70,7 @@ impl Checker {
     pub fn new(enabled: bool) -> Self {
         Checker {
             enabled,
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             violations: Vec::new(),
             max_violations: 64,
         }

@@ -12,7 +12,7 @@
 //!   timeouts (§3.2, §3.4), request serial numbers with reissue (§3.5), and
 //!   the recovery responses to `UnblockPing`/`WbPing`/`OwnershipPing`.
 
-use std::collections::HashMap;
+use ftdircmp_sim::FxHashMap;
 
 use ftdircmp_sim::{Cycle, DetRng};
 
@@ -167,12 +167,12 @@ pub struct L1Controller {
     me: NodeId,
     ft: bool,
     cache: SetAssocCache<L1Entry>,
-    miss: HashMap<LineAddr, MissMshr>,
-    wb: HashMap<LineAddr, WbMshr>,
-    backups: HashMap<LineAddr, Backup>,
-    ackbd: HashMap<LineAddr, AckBdPending>,
-    deferred: HashMap<LineAddr, Vec<Message>>,
-    unblocked: HashMap<LineAddr, CompletedTx>,
+    miss: FxHashMap<LineAddr, MissMshr>,
+    wb: FxHashMap<LineAddr, WbMshr>,
+    backups: FxHashMap<LineAddr, Backup>,
+    ackbd: FxHashMap<LineAddr, AckBdPending>,
+    deferred: FxHashMap<LineAddr, Vec<Message>>,
+    unblocked: FxHashMap<LineAddr, CompletedTx>,
     stalled_ops: Vec<CpuOp>,
     serials: SerialAllocator,
     gen_counter: u64,
@@ -186,12 +186,12 @@ impl L1Controller {
             me: NodeId::L1(tile),
             ft: config.protocol.is_fault_tolerant(),
             cache: SetAssocCache::new(config.l1_sets(), config.l1_assoc),
-            miss: HashMap::new(),
-            wb: HashMap::new(),
-            backups: HashMap::new(),
-            ackbd: HashMap::new(),
-            deferred: HashMap::new(),
-            unblocked: HashMap::new(),
+            miss: FxHashMap::default(),
+            wb: FxHashMap::default(),
+            backups: FxHashMap::default(),
+            ackbd: FxHashMap::default(),
+            deferred: FxHashMap::default(),
+            unblocked: FxHashMap::default(),
             stalled_ops: Vec::new(),
             serials: SerialAllocator::new(config.ft.serial_bits, rng),
             gen_counter: 0,

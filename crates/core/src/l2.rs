@@ -13,7 +13,8 @@
 //! handshake pending) — so L2 misses see no added latency, yet at most one
 //! backup exists outside the chip.
 
-use std::collections::{HashMap, VecDeque};
+use ftdircmp_sim::FxHashMap;
+use std::collections::VecDeque;
 
 use ftdircmp_sim::DetRng;
 
@@ -198,10 +199,10 @@ pub struct L2Controller {
     me: NodeId,
     ft: bool,
     cache: SetAssocCache<L2Line>,
-    tbes: HashMap<LineAddr, Tbe>,
-    waiting: HashMap<LineAddr, VecDeque<Message>>,
-    ext_pending: HashMap<LineAddr, ExtPending>,
-    mem_backups: HashMap<LineAddr, MemBackup>,
+    tbes: FxHashMap<LineAddr, Tbe>,
+    waiting: FxHashMap<LineAddr, VecDeque<Message>>,
+    ext_pending: FxHashMap<LineAddr, ExtPending>,
+    mem_backups: FxHashMap<LineAddr, MemBackup>,
     serials: SerialAllocator,
     gen_counter: u64,
 }
@@ -214,10 +215,10 @@ impl L2Controller {
             me: NodeId::L2(tile),
             ft: config.protocol.is_fault_tolerant(),
             cache: SetAssocCache::new(config.l2_sets(), config.l2_assoc),
-            tbes: HashMap::new(),
-            waiting: HashMap::new(),
-            ext_pending: HashMap::new(),
-            mem_backups: HashMap::new(),
+            tbes: FxHashMap::default(),
+            waiting: FxHashMap::default(),
+            ext_pending: FxHashMap::default(),
+            mem_backups: FxHashMap::default(),
             serials: SerialAllocator::new(config.ft.serial_bits, rng),
             gen_counter: 0,
         }

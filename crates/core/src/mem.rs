@@ -7,7 +7,8 @@
 //! FtDirCMP — participates in the ownership handshakes. Its resident copy
 //! doubles as the backup for outgoing data, so fills need no extra storage.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use ftdircmp_sim::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 
 use crate::data::LineData;
 use crate::ids::{LineAddr, NodeId};
@@ -43,10 +44,10 @@ struct MemTbe {
 pub struct MemController {
     me: NodeId,
     ft: bool,
-    store: HashMap<LineAddr, LineData>,
-    l2_owned: HashSet<LineAddr>,
-    tbes: HashMap<LineAddr, MemTbe>,
-    waiting: HashMap<LineAddr, VecDeque<Message>>,
+    store: FxHashMap<LineAddr, LineData>,
+    l2_owned: FxHashSet<LineAddr>,
+    tbes: FxHashMap<LineAddr, MemTbe>,
+    waiting: FxHashMap<LineAddr, VecDeque<Message>>,
     gen_counter: u64,
 }
 
@@ -56,10 +57,10 @@ impl MemController {
         MemController {
             me: NodeId::Mem(index),
             ft: fault_tolerant,
-            store: HashMap::new(),
-            l2_owned: HashSet::new(),
-            tbes: HashMap::new(),
-            waiting: HashMap::new(),
+            store: FxHashMap::default(),
+            l2_owned: FxHashSet::default(),
+            tbes: FxHashMap::default(),
+            waiting: FxHashMap::default(),
             gen_counter: 0,
         }
     }

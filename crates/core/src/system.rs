@@ -97,6 +97,9 @@ pub struct SimReport {
     pub max_link_utilization: f64,
     /// Mean utilization across links that carried traffic.
     pub mean_link_utilization: f64,
+    /// Total simulation events processed (throughput denominator for
+    /// events/sec reporting).
+    pub events: u64,
 }
 
 impl SimReport {
@@ -135,6 +138,15 @@ pub struct System {
     last_progress: Cycle,
     finished_at: Cycle,
     trace_sink: Option<Box<dyn TraceSink>>,
+    /// Cores whose `is_done()` transition has been counted (done is
+    /// monotonic: a drained core never becomes un-done).
+    core_done: Vec<bool>,
+    cores_done: usize,
+    /// Scratch buffers reused across `dispatch` calls so the hot loop does
+    /// not allocate three `Vec`s per event.
+    scratch_out: Vec<Outgoing>,
+    scratch_timeouts: Vec<TimeoutReq>,
+    scratch_completions: Vec<CoreCompletion>,
 }
 
 impl std::fmt::Debug for System {
@@ -182,7 +194,7 @@ impl System {
             .map(|i| MemController::new(i, ft))
             .collect();
         let window = config.max_outstanding_misses;
-        let cpus = (0..config.tiles)
+        let cpus: Vec<Cpu> = (0..config.tiles)
             .map(|i| {
                 let trace = workload
                     .traces
@@ -192,6 +204,8 @@ impl System {
                 Cpu::new(i, trace, window)
             })
             .collect();
+        let core_done: Vec<bool> = cpus.iter().map(Cpu::is_done).collect();
+        let cores_done = core_done.iter().filter(|d| **d).count();
         Ok(System {
             config,
             queue: EventQueue::new(),
@@ -206,6 +220,11 @@ impl System {
             last_progress: Cycle::ZERO,
             finished_at: Cycle::ZERO,
             trace_sink: StderrSink::from_env().map(|s| Box::new(s) as Box<dyn TraceSink>),
+            core_done,
+            cores_done,
+            scratch_out: Vec::new(),
+            scratch_timeouts: Vec::new(),
+            scratch_completions: Vec::new(),
         })
     }
 
@@ -226,7 +245,9 @@ impl System {
     }
 
     fn all_cores_done(&self) -> bool {
-        self.cpus.iter().all(Cpu::is_done)
+        // O(1): maintained by `note_core_progress` instead of scanning every
+        // core on every event pop.
+        self.cores_done == self.cpus.len()
     }
 
     /// In-flight state of every controller (deadlock diagnostics).
@@ -322,6 +343,7 @@ impl System {
             residual_activity,
             max_link_utilization,
             mean_link_utilization,
+            events: self.queue.scheduled_total(),
         };
         Ok(report)
     }
@@ -360,9 +382,12 @@ impl System {
                 Event::CpuStep(_) => {}
             }
         }
-        let mut out: Vec<Outgoing> = Vec::new();
-        let mut timeouts: Vec<TimeoutReq> = Vec::new();
-        let mut completions: Vec<CoreCompletion> = Vec::new();
+        // Reuse the scratch buffers instead of allocating three Vecs per
+        // event; they are drained by `apply_effects` and handed back empty.
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut timeouts = std::mem::take(&mut self.scratch_timeouts);
+        let mut completions = std::mem::take(&mut self.scratch_completions);
+        debug_assert!(out.is_empty() && timeouts.is_empty() && completions.is_empty());
 
         match ev {
             Event::CpuStep(core) => {
@@ -413,7 +438,10 @@ impl System {
             }
         }
 
-        self.apply_effects(now, out, timeouts, completions);
+        self.apply_effects(now, &mut out, &mut timeouts, &mut completions);
+        self.scratch_out = out;
+        self.scratch_timeouts = timeouts;
+        self.scratch_completions = completions;
     }
 
     fn cpu_step(
@@ -430,7 +458,7 @@ impl System {
         // same-line dependence, hit pacing, or trace drained).
         loop {
             if self.cpus[idx].is_done() {
-                self.note_progress(now);
+                self.note_core_progress(now, idx);
                 return;
             }
             match self.cpus[idx].issue_state(|op| op.addr().map(|a| a.line(line_bytes))) {
@@ -445,7 +473,7 @@ impl System {
                     if self.trace_sink.is_some() {
                         self.trace(now, TraceEventKind::OpRetired { core, op });
                     }
-                    self.note_progress(now);
+                    self.note_core_progress(now, idx);
                     if !self.cpus[idx].is_done() {
                         self.queue.schedule(now + n.max(1), Event::CpuStep(core));
                     }
@@ -472,7 +500,7 @@ impl System {
                             if self.trace_sink.is_some() {
                                 self.trace(now, TraceEventKind::OpRetired { core, op });
                             }
-                            self.note_progress(now);
+                            self.note_core_progress(now, idx);
                             if !self.cpus[idx].is_done() {
                                 self.queue.schedule(
                                     now + self.config.l1_hit_cycles,
@@ -493,8 +521,12 @@ impl System {
         }
     }
 
-    fn note_progress(&mut self, now: Cycle) {
+    fn note_core_progress(&mut self, now: Cycle, core: usize) {
         self.last_progress = now;
+        if !self.core_done[core] && self.cpus[core].is_done() {
+            self.core_done[core] = true;
+            self.cores_done += 1;
+        }
         if self.all_cores_done() {
             self.finished_at = now;
         }
@@ -503,11 +535,11 @@ impl System {
     fn apply_effects(
         &mut self,
         now: Cycle,
-        out: Vec<Outgoing>,
-        timeouts: Vec<TimeoutReq>,
-        completions: Vec<CoreCompletion>,
+        out: &mut Vec<Outgoing>,
+        timeouts: &mut Vec<TimeoutReq>,
+        completions: &mut Vec<CoreCompletion>,
     ) {
-        for Outgoing { msg, delay } in out {
+        for Outgoing { msg, delay } in out.drain(..) {
             let send_at = now + delay;
             let src = self.node_router(msg.src);
             let dst = self.node_router(msg.dst);
@@ -523,7 +555,7 @@ impl System {
                 }
             }
         }
-        for t in timeouts {
+        for t in timeouts.drain(..) {
             self.queue.schedule(
                 now + t.delay,
                 Event::Timeout {
@@ -534,7 +566,7 @@ impl System {
                 },
             );
         }
-        for c in completions {
+        for c in completions.drain(..) {
             let idx = usize::from(c.core);
             self.cpus[idx].complete(c.addr);
             if self.trace_sink.is_some() {
@@ -547,7 +579,7 @@ impl System {
                 };
                 self.trace(now, TraceEventKind::OpRetired { core: c.core, op });
             }
-            self.note_progress(now);
+            self.note_core_progress(now, idx);
             self.queue
                 .schedule(now + c.delay.max(1), Event::CpuStep(c.core));
         }

@@ -26,18 +26,18 @@ fn contended_workload(seed: u64, cores: u8, ops: usize, hot_lines: u64) -> Workl
         let mut v = Vec::with_capacity(ops);
         for _ in 0..ops {
             let r = xorshift(&mut st);
-            let line = if r % 4 == 0 {
+            let line = if r.is_multiple_of(4) {
                 1000 + u64::from(c) * 64 + (r >> 8) % 16
             } else {
                 (r >> 8) % hot_lines
             };
             let a = Addr(line * 64);
-            if r % 3 == 0 {
+            if r.is_multiple_of(3) {
                 v.push(TraceOp::Store(a));
             } else {
                 v.push(TraceOp::Load(a));
             }
-            if r % 11 == 0 {
+            if r.is_multiple_of(11) {
                 v.push(TraceOp::Think(r % 30));
             }
         }
@@ -49,7 +49,11 @@ fn contended_workload(seed: u64, cores: u8, ops: usize, hot_lines: u64) -> Workl
 fn assert_clean(cfg: SystemConfig, wl: &Workload, bug: &str) {
     match System::run_workload(cfg, wl) {
         Ok(r) => {
-            assert!(r.violations.is_empty(), "[{bug}] violations: {:#?}", r.violations);
+            assert!(
+                r.violations.is_empty(),
+                "[{bug}] violations: {:#?}",
+                r.violations
+            );
             assert_eq!(r.total_mem_ops as usize, wl.total_mem_ops(), "[{bug}]");
         }
         Err(e) => panic!("[{bug}] {e}"),
@@ -127,7 +131,9 @@ fn cross_transaction_serial_collision() {
     // timestamps proved it was not wraparound).
     for bits in [2u8, 4, 8] {
         let wl = contended_workload(3 * 23 + 9, 8, 100, 10);
-        let mut cfg = SystemConfig::ftdircmp().with_fault_rate(5_000.0).with_seed(3 + 77);
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_fault_rate(5_000.0)
+            .with_seed(3 + 77);
         cfg.ft.serial_bits = bits;
         cfg.watchdog_cycles = 3_000_000;
         assert_clean(cfg, &wl, &format!("serial-collision bits={bits}"));
@@ -143,7 +149,9 @@ fn cross_transaction_serial_collision() {
 fn lost_recall_invalidations_are_resent() {
     // Originally wedged at stress tiny-caches seed=17.
     let wl = contended_workload(17u64.wrapping_mul(37) + 13, 8, 120, 40);
-    let mut cfg = SystemConfig::ftdircmp().with_fault_rate(2_000.0).with_seed(17 + 404);
+    let mut cfg = SystemConfig::ftdircmp()
+        .with_fault_rate(2_000.0)
+        .with_seed(17 + 404);
     cfg.l1_bytes = 2 * 1024;
     cfg.l2_bank_bytes = 4 * 1024;
     cfg.watchdog_cycles = 3_000_000;
@@ -156,7 +164,9 @@ fn lost_recall_invalidations_are_resent() {
 #[test]
 fn drained_queue_with_blocked_cores_is_a_deadlock() {
     let wl = contended_workload(99, 16, 200, 24);
-    let mut cfg = SystemConfig::dircmp().with_fault_rate(20_000.0).with_seed(99);
+    let mut cfg = SystemConfig::dircmp()
+        .with_fault_rate(20_000.0)
+        .with_seed(99);
     cfg.watchdog_cycles = 150_000;
     match System::run_workload(cfg, &wl) {
         Err(ftdircmp_core::RunError::Deadlock { .. }) => {}

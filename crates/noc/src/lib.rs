@@ -36,7 +36,7 @@ mod topology;
 pub use fault::{FaultConfig, FaultInjector};
 pub use mesh::{Mesh, MeshConfig, RoutingMode, SendOutcome};
 pub use stats::NocStats;
-pub use topology::{Coord, Direction, LinkId, RouterId, Topology};
+pub use topology::{AdaptiveRoute, Coord, Direction, LinkId, RouterId, Topology, XyRoute};
 
 /// Virtual-channel classes used by the coherence protocols.
 ///

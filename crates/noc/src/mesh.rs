@@ -188,19 +188,38 @@ impl Mesh {
             };
         }
 
-        let path = match self.config.routing {
-            RoutingMode::DimensionOrdered => self.topology.route_xy(src, dst),
-            RoutingMode::Adaptive => self.topology.route_adaptive(src, dst, &mut self.route_rng),
-        };
         let ser = serialization_cycles(size_bytes, self.config.link_bytes_per_cycle);
 
+        // Walk the route without materializing it: reserve bandwidth on each
+        // link as the walker yields it. Split borrows so the route walker
+        // (topology + route RNG) and the reservation state stay disjoint.
+        let Mesh {
+            topology,
+            config,
+            link_free,
+            link_busy,
+            route_rng,
+            ..
+        } = self;
         let mut arrive = now;
-        for link in &path {
+        let mut hops = 0u32;
+        let mut reserve = |link: crate::LinkId| {
             let idx = link.dense_index();
-            let depart = arrive.max(self.link_free[idx]);
-            self.link_free[idx] = depart + ser;
-            self.link_busy[idx] += ser;
-            arrive = depart + ser + self.config.router_latency;
+            let depart = arrive.max(link_free[idx]);
+            link_free[idx] = depart + ser;
+            link_busy[idx] += ser;
+            arrive = depart + ser + config.router_latency;
+            hops += 1;
+        };
+        match config.routing {
+            RoutingMode::DimensionOrdered => {
+                topology.route_xy_iter(src, dst).for_each(&mut reserve);
+            }
+            RoutingMode::Adaptive => {
+                topology
+                    .route_adaptive_iter(src, dst, route_rng)
+                    .for_each(&mut reserve);
+            }
         }
 
         if self.fault.should_drop_class(class) {
@@ -213,8 +232,7 @@ impl Mesh {
         }
 
         let latency = arrive - now;
-        self.stats
-            .record_sent(class, size_bytes, path.len() as u32, latency);
+        self.stats.record_sent(class, size_bytes, hops, latency);
         SendOutcome::Delivered { at: arrive }
     }
 

@@ -193,63 +193,166 @@ impl Topology {
         (ca.x().abs_diff(cb.x()) + ca.y().abs_diff(cb.y())) as u32
     }
 
-    /// Dimension-ordered (XY) route: the deterministic path used by DirCMP's
-    /// ordered-network assumption. Returns the sequence of links traversed
-    /// (empty when `src == dst`).
-    pub fn route_xy(&self, src: RouterId, dst: RouterId) -> Vec<LinkId> {
-        let mut path = Vec::with_capacity(self.hops(src, dst) as usize);
-        let mut cur = src;
-        let dstc = self.coord(dst);
-        loop {
-            let c = self.coord(cur);
-            let dir = if c.x() < dstc.x() {
-                Direction::East
-            } else if c.x() > dstc.x() {
-                Direction::West
-            } else if c.y() < dstc.y() {
-                Direction::South
-            } else if c.y() > dstc.y() {
-                Direction::North
-            } else {
-                break;
-            };
-            path.push(LinkId { from: cur, dir });
-            cur = self.neighbor(cur, dir).expect("route stepped off the mesh");
+    /// Dimension-ordered (XY) route as an allocation-free walker: the
+    /// deterministic path used by DirCMP's ordered-network assumption.
+    /// Yields the sequence of links traversed (nothing when `src == dst`).
+    pub fn route_xy_iter(&self, src: RouterId, dst: RouterId) -> XyRoute<'_> {
+        XyRoute {
+            topo: self,
+            cur: src,
+            dstc: self.coord(dst),
         }
-        path
     }
 
-    /// Randomized minimal adaptive route: at each hop, picks uniformly among
-    /// the productive directions. Models an *unordered* network (adaptive
-    /// routing), the extension discussed in paper §2 / its reference 6.
-    pub fn route_adaptive(&self, src: RouterId, dst: RouterId, rng: &mut DetRng) -> Vec<LinkId> {
-        let mut path = Vec::with_capacity(self.hops(src, dst) as usize);
-        let mut cur = src;
-        let dstc = self.coord(dst);
-        loop {
-            let c = self.coord(cur);
-            let mut productive = Vec::with_capacity(2);
-            if c.x() < dstc.x() {
-                productive.push(Direction::East);
-            } else if c.x() > dstc.x() {
-                productive.push(Direction::West);
-            }
-            if c.y() < dstc.y() {
-                productive.push(Direction::South);
-            } else if c.y() > dstc.y() {
-                productive.push(Direction::North);
-            }
-            let dir = match productive.len() {
-                0 => break,
-                1 => productive[0],
-                _ => *rng.pick(&productive),
-            };
-            path.push(LinkId { from: cur, dir });
-            cur = self.neighbor(cur, dir).expect("route stepped off the mesh");
+    /// Dimension-ordered (XY) route, collected into a `Vec`. Hot paths walk
+    /// [`Topology::route_xy_iter`] instead to avoid the allocation.
+    pub fn route_xy(&self, src: RouterId, dst: RouterId) -> Vec<LinkId> {
+        self.route_xy_iter(src, dst).collect()
+    }
+
+    /// Randomized minimal adaptive route as an allocation-free walker: at
+    /// each hop, picks uniformly among the productive directions. Models an
+    /// *unordered* network (adaptive routing), the extension discussed in
+    /// paper §2 / its reference 6.
+    pub fn route_adaptive_iter<'t, 'r>(
+        &'t self,
+        src: RouterId,
+        dst: RouterId,
+        rng: &'r mut DetRng,
+    ) -> AdaptiveRoute<'t, 'r> {
+        AdaptiveRoute {
+            topo: self,
+            rng,
+            cur: src,
+            dstc: self.coord(dst),
         }
-        path
+    }
+
+    /// Randomized minimal adaptive route, collected into a `Vec`. Hot paths
+    /// walk [`Topology::route_adaptive_iter`] instead.
+    pub fn route_adaptive(&self, src: RouterId, dst: RouterId, rng: &mut DetRng) -> Vec<LinkId> {
+        self.route_adaptive_iter(src, dst, rng).collect()
     }
 }
+
+/// Allocation-free dimension-ordered route walker.
+///
+/// Created by [`Topology::route_xy_iter`]; yields exactly
+/// `Topology::hops(src, dst)` links.
+#[derive(Debug, Clone)]
+pub struct XyRoute<'t> {
+    topo: &'t Topology,
+    cur: RouterId,
+    dstc: Coord,
+}
+
+impl XyRoute<'_> {
+    fn remaining(&self) -> usize {
+        let c = self.topo.coord(self.cur);
+        usize::from(c.x().abs_diff(self.dstc.x())) + usize::from(c.y().abs_diff(self.dstc.y()))
+    }
+}
+
+impl Iterator for XyRoute<'_> {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        let c = self.topo.coord(self.cur);
+        let dir = if c.x() < self.dstc.x() {
+            Direction::East
+        } else if c.x() > self.dstc.x() {
+            Direction::West
+        } else if c.y() < self.dstc.y() {
+            Direction::South
+        } else if c.y() > self.dstc.y() {
+            Direction::North
+        } else {
+            return None;
+        };
+        let link = LinkId {
+            from: self.cur,
+            dir,
+        };
+        self.cur = self
+            .topo
+            .neighbor(self.cur, dir)
+            .expect("route stepped off the mesh");
+        Some(link)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for XyRoute<'_> {}
+
+/// Allocation-free randomized minimal adaptive route walker.
+///
+/// Created by [`Topology::route_adaptive_iter`]; yields exactly
+/// `Topology::hops(src, dst)` links, consuming one RNG draw per hop where
+/// both dimensions are productive (identical to the historical `Vec`-based
+/// routing, so seeded runs reproduce the same paths).
+#[derive(Debug)]
+pub struct AdaptiveRoute<'t, 'r> {
+    topo: &'t Topology,
+    rng: &'r mut DetRng,
+    cur: RouterId,
+    dstc: Coord,
+}
+
+impl AdaptiveRoute<'_, '_> {
+    fn remaining(&self) -> usize {
+        let c = self.topo.coord(self.cur);
+        usize::from(c.x().abs_diff(self.dstc.x())) + usize::from(c.y().abs_diff(self.dstc.y()))
+    }
+}
+
+impl Iterator for AdaptiveRoute<'_, '_> {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        let c = self.topo.coord(self.cur);
+        let mut productive = [Direction::East; 2];
+        let mut n = 0;
+        if c.x() < self.dstc.x() {
+            productive[n] = Direction::East;
+            n += 1;
+        } else if c.x() > self.dstc.x() {
+            productive[n] = Direction::West;
+            n += 1;
+        }
+        if c.y() < self.dstc.y() {
+            productive[n] = Direction::South;
+            n += 1;
+        } else if c.y() > self.dstc.y() {
+            productive[n] = Direction::North;
+            n += 1;
+        }
+        let dir = match n {
+            0 => return None,
+            1 => productive[0],
+            _ => *self.rng.pick(&productive[..n]),
+        };
+        let link = LinkId {
+            from: self.cur,
+            dir,
+        };
+        self.cur = self
+            .topo
+            .neighbor(self.cur, dir)
+            .expect("route stepped off the mesh");
+        Some(link)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AdaptiveRoute<'_, '_> {}
 
 #[cfg(test)]
 mod tests {

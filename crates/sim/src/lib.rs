@@ -7,6 +7,8 @@
 //! * [`EventQueue`] — a time-ordered, FIFO-stable priority queue of events.
 //! * [`DetRng`] — a deterministic, fork-able random number generator so that
 //!   every simulation run is exactly reproducible from a single seed.
+//! * [`FxHashMap`] / [`FxHashSet`] — hash containers with a fast,
+//!   deterministic in-tree hasher for simulator hot paths.
 //!
 //! # Example
 //!
@@ -22,9 +24,11 @@
 //! ```
 
 mod event;
+mod fxhash;
 mod rng;
 mod time;
 
 pub use event::EventQueue;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::DetRng;
 pub use time::Cycle;

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Simulator performance benchmarks:
+#   1. criterion microbenches (events/sec of the engine itself);
+#   2. a fixed fig3 campaign, run sequentially (--jobs 1) and in parallel,
+#      emitting results/BENCH_campaign.json with wall time and throughput.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-3}"
+# Default to all CPUs, but at least 2 so the threaded path is exercised
+# even on a single-core host (expect the >=2x speedup on >=4 cores).
+cpus=$(nproc 2>/dev/null || echo 4)
+JOBS="${JOBS:-$(( cpus > 2 ? cpus : 2 ))}"
+mkdir -p results
+
+echo "== criterion: simulator microbenches =="
+cargo bench -q -p ftdircmp-bench --bench simulator
+
+echo
+echo "== fig3 campaign, sequential reference (--jobs 1, seeds=$SEEDS) =="
+cargo build --release -q -p ftdircmp-bench --bin fig3_execution_time
+t0=$(date +%s.%N)
+./target/release/fig3_execution_time --seeds "$SEEDS" --jobs 1 \
+    --bench-json results/BENCH_campaign_seq.json > results/fig3_seq.txt
+t1=$(date +%s.%N)
+seq_wall=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+echo "sequential wall: ${seq_wall}s"
+
+echo
+echo "== fig3 campaign, parallel (--jobs $JOBS, seeds=$SEEDS) =="
+t0=$(date +%s.%N)
+./target/release/fig3_execution_time --seeds "$SEEDS" --jobs "$JOBS" \
+    --bench-json results/BENCH_campaign.json > results/fig3_par.txt
+t1=$(date +%s.%N)
+par_wall=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+echo "parallel wall:   ${par_wall}s"
+
+# Byte-compare the table output, ignoring only the line that names the
+# (deliberately different) json destination.
+if ! cmp -s <(grep -v '^(wrote ' results/fig3_seq.txt) \
+            <(grep -v '^(wrote ' results/fig3_par.txt); then
+    echo "ERROR: parallel output differs from sequential output" >&2
+    diff results/fig3_seq.txt results/fig3_par.txt >&2 || true
+    exit 1
+fi
+echo "parallel output is byte-identical to sequential."
+
+speedup=$(awk "BEGIN{printf \"%.2f\", $seq_wall / $par_wall}")
+echo
+echo "campaign speedup at $JOBS jobs: ${speedup}x"
+echo "throughput summary (parallel run):"
+cat results/BENCH_campaign.json

@@ -1,0 +1,256 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the slice of the `criterion` 0.5 API the repository's benches use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical machinery, each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill a fixed
+//! measurement window; the mean, min and max per-iteration times are
+//! printed in a `name ... mean 12.34 µs (min 11.98, max 13.02, N iters)`
+//! line. This keeps `cargo bench` working (and machine-greppable for
+//! `scripts/bench.sh`) without any external dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration (filled by [`Bencher::iter`]).
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: how long does one iteration take?
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let target = self.measurement;
+        let batches: u64 = 10;
+        let per_batch = (target.as_nanos() / (u128::from(batches) * once.as_nanos()))
+            .clamp(1, 1_000_000) as u64;
+
+        let (mut total, mut min, mut max) = (Duration::ZERO, Duration::MAX, Duration::ZERO);
+        let mut iters = 0u64;
+        for _ in 0..batches {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            let d = t.elapsed();
+            total += d;
+            min = min.min(d / per_batch as u32);
+            max = max.max(d / per_batch as u32);
+            iters += per_batch;
+            if total > target * 2 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.min_ns = min.as_nanos() as f64;
+        self.max_ns = max.as_nanos() as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement: Duration, mut f: F) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        min_ns: 0.0,
+        max_ns: 0.0,
+        iters: 0,
+        measurement,
+    };
+    f(&mut b);
+    println!(
+        "bench: {:<44} mean {:>12} (min {}, max {}, {} iters)",
+        name,
+        human(b.mean_ns),
+        human(b.min_ns),
+        human(b.max_ns),
+        b.iters
+    );
+}
+
+/// The benchmark manager (stub: a name filter plus a measurement window).
+pub struct Criterion {
+    filter: Option<String>,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with(env!("CARGO_PKG_NAME")));
+        Criterion {
+            filter,
+            measurement: Duration::from_millis(
+                std::env::var("CRITERION_MEASUREMENT_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(300),
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// API-parity hook; the stub reads argv in [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the measurement window (API parity with criterion).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        if self.enabled(name) {
+            run_one(name, self.measurement, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// API-parity knob; the stub sizes its loop from wall time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window for the group's benches.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            run_one(&full, self.parent.measurement, f);
+        }
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            run_one(&full, self.parent.measurement, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Closes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
