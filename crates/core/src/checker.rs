@@ -312,6 +312,59 @@ mod tests {
     }
 
     #[test]
+    fn backup_delete_then_recreate_is_legal() {
+        // Ownership migration (paper §3.1.1): each hop creates a backup at
+        // the previous owner and deletes it once AckBD arrives. Any chain
+        // of create/delete pairs must stay inside the bound.
+        let mut c = Checker::new(true);
+        for hop in 0..10u8 {
+            c.backup_created(l1(hop % 4), A, Cycle::new(u64::from(hop) * 100));
+            c.backup_created(NodeId::Mem(0), A, Cycle::new(u64::from(hop) * 100 + 10));
+            c.backup_deleted(NodeId::Mem(0), A, Cycle::new(u64::from(hop) * 100 + 20));
+            c.backup_deleted(l1(hop % 4), A, Cycle::new(u64::from(hop) * 100 + 30));
+        }
+        assert!(c.violations().is_empty(), "{:#?}", c.violations());
+    }
+
+    #[test]
+    fn third_simultaneous_backup_violates_even_after_churn() {
+        // The bound is on *simultaneous* backups: deletions must free the
+        // slot, and a third live backup must still be flagged afterwards.
+        let mut c = Checker::new(true);
+        c.backup_created(l1(0), A, Cycle::ZERO);
+        c.backup_created(NodeId::Mem(0), A, Cycle::ZERO);
+        c.backup_deleted(l1(0), A, Cycle::ZERO);
+        c.backup_created(l1(1), A, Cycle::ZERO);
+        assert!(c.violations().is_empty());
+        c.backup_created(l1(2), A, Cycle::new(9));
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("3 simultaneous backups"));
+        assert!(c.violations()[0].contains("[9c]"));
+    }
+
+    #[test]
+    fn backup_bound_is_per_line() {
+        // Two backups on each of several distinct lines never interact.
+        let mut c = Checker::new(true);
+        for line in 0..8u64 {
+            c.backup_created(l1(0), LineAddr(line), Cycle::ZERO);
+            c.backup_created(NodeId::Mem(0), LineAddr(line), Cycle::ZERO);
+        }
+        assert!(c.violations().is_empty());
+        assert_eq!(c.tracked_lines(), 8);
+    }
+
+    #[test]
+    fn deleting_a_nonexistent_backup_is_harmless() {
+        let mut c = Checker::new(true);
+        c.backup_deleted(l1(3), A, Cycle::ZERO);
+        c.backup_created(l1(0), A, Cycle::ZERO);
+        c.backup_deleted(l1(1), A, Cycle::ZERO); // wrong node: no effect
+        c.backup_created(NodeId::Mem(0), A, Cycle::ZERO);
+        assert!(c.violations().is_empty());
+    }
+
+    #[test]
     fn duplicate_backup_at_same_node_flagged() {
         let mut c = Checker::new(true);
         c.backup_created(l1(0), A, Cycle::ZERO);

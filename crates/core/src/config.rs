@@ -120,6 +120,13 @@ pub struct SystemConfig {
     pub watchdog_cycles: u64,
     /// Master random seed (workloads fork their own streams from it).
     pub seed: u64,
+    /// Event-queue schedule seed: `0` keeps FIFO tie-breaking for
+    /// same-cycle events (the historical order); any other value applies a
+    /// reproducible pseudo-random permutation, used by the exploration
+    /// harness to reach races FIFO never exhibits. Only FtDirCMP is
+    /// expected to tolerate nonzero seeds (they break same-cycle
+    /// point-to-point ordering, like adaptive routing).
+    pub schedule_seed: u64,
 }
 
 impl Default for SystemConfig {
@@ -146,6 +153,7 @@ impl Default for SystemConfig {
             max_outstanding_misses: 1,
             watchdog_cycles: 400_000,
             seed: 0xF7D1_2C3B,
+            schedule_seed: 0,
         }
     }
 }
@@ -181,6 +189,13 @@ impl SystemConfig {
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the event-queue schedule seed (`0` = FIFO tie-breaking; see
+    /// [`SystemConfig::schedule_seed`]).
+    pub fn with_schedule_seed(mut self, schedule_seed: u64) -> Self {
+        self.schedule_seed = schedule_seed;
         self
     }
 
@@ -316,6 +331,10 @@ mod tests {
         assert_eq!(c.seed, 7);
         let a = SystemConfig::default().with_adaptive_routing();
         assert_eq!(a.mesh.routing, RoutingMode::Adaptive);
+        assert_eq!(SystemConfig::default().schedule_seed, 0);
+        let s = SystemConfig::default().with_schedule_seed(42);
+        assert_eq!(s.schedule_seed, 42);
+        assert!(s.validate().is_ok());
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct SimReport {
     /// Total simulation events processed (throughput denominator for
     /// events/sec reporting).
     pub events: u64,
+    /// Virtual-channel class of every message the fault injector examined,
+    /// index-aligned with deterministic drop indices. Empty unless
+    /// `mesh.record_injections` was set; the exploration harness uses it to
+    /// target drops at protocol-dense message classes.
+    pub injection_classes: Vec<ftdircmp_noc::VcClass>,
 }
 
 impl SimReport {
@@ -206,9 +211,10 @@ impl System {
             .collect();
         let core_done: Vec<bool> = cpus.iter().map(Cpu::is_done).collect();
         let cores_done = core_done.iter().filter(|d| **d).count();
+        let queue = EventQueue::with_schedule_seed(config.schedule_seed);
         Ok(System {
             config,
-            queue: EventQueue::new(),
+            queue,
             mesh,
             l1s,
             l2s,
@@ -344,6 +350,7 @@ impl System {
             max_link_utilization,
             mean_link_utilization,
             events: self.queue.scheduled_total(),
+            injection_classes: self.mesh.fault_injector().injection_log().to_vec(),
         };
         Ok(report)
     }

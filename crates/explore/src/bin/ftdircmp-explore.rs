@@ -1,0 +1,170 @@
+//! Protocol exploration CLI: guided fault-schedule search with schedule
+//! perturbation and a minimizing shrinker (DESIGN.md §9).
+//!
+//! ```text
+//! ftdircmp-explore explore [--smoke] [--protocol ft|dircmp]
+//!                          [--workloads a,b,c] [--schedule-seeds N]
+//!                          [--budget N] [--shrink-runs N] [--jobs N]
+//!                          [--out DIR]
+//! ftdircmp-explore replay FILE.ron
+//! ```
+//!
+//! `explore` exits nonzero if any failure was found (CI runs `--smoke`
+//! against FtDirCMP and asserts a clean sweep); `replay` exits zero only
+//! if the repro file still reproduces its recorded failure kind.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftdircmp_bench::BenchArgs;
+use ftdircmp_core::ProtocolVariant;
+use ftdircmp_explore::repro::read_repro;
+use ftdircmp_explore::{explore, ExploreOptions};
+use ftdircmp_workloads::{suite, WorkloadSpec};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    match argv.get(1).map(String::as_str) {
+        Some("explore") => cmd_explore(&argv[2..]),
+        Some("replay") => cmd_replay(&argv[2..]),
+        _ => {
+            eprintln!("usage: ftdircmp-explore explore [flags] | replay FILE.ron");
+            eprintln!("flags: --smoke --protocol ft|dircmp --workloads a,b,c");
+            eprintln!("       --schedule-seeds N --budget N --shrink-runs N");
+            eprintln!("       --jobs N --out DIR");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_explore(argv: &[String]) -> ExitCode {
+    let args = BenchArgs::from_vec(argv.to_vec());
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let protocol = match args.value_of("--protocol") {
+        Some("dircmp") => ProtocolVariant::DirCmp,
+        Some("ft") | None => ProtocolVariant::FtDirCmp,
+        Some(other) => {
+            eprintln!("unknown --protocol {other:?} (expected ft or dircmp)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut opts = ExploreOptions::new(protocol);
+    opts.jobs = args.jobs();
+    opts.progress = true;
+    if let Some(names) = args.value_of("--workloads") {
+        let mut specs = Vec::new();
+        for name in names.split(',').filter(|n| !n.is_empty()) {
+            match WorkloadSpec::named(name) {
+                Some(s) => specs.push(s),
+                None => {
+                    eprintln!(
+                        "unknown workload {name:?}; available: {}",
+                        suite()
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        opts.specs = specs;
+    }
+    let seeds = args.u64_flag("--schedule-seeds", opts.schedule_seeds.len() as u64);
+    opts.schedule_seeds = (0..seeds.max(1)).collect();
+    opts.drop_budget = args.u64_flag("--budget", opts.drop_budget as u64) as usize;
+    opts.shrink_runs = args.u64_flag("--shrink-runs", opts.shrink_runs as u64) as usize;
+    opts.out_dir = Some(
+        args.value_of("--out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results/repros")),
+    );
+    if smoke {
+        // Fixed small campaign for CI: 2 workloads at reduced size, seeds
+        // {0, 1}, modest budget. FtDirCMP must survive every cell.
+        for spec in &mut opts.specs {
+            spec.ops_per_core = spec.ops_per_core.min(150);
+        }
+        opts.drop_budget = opts.drop_budget.min(12);
+        opts.schedule_seeds = vec![0, 1];
+    }
+
+    eprintln!(
+        "[explore] {} | {} workload(s) x {} schedule seed(s), budget {} drops/cell, {} job(s)",
+        opts.config.protocol,
+        opts.specs.len(),
+        opts.schedule_seeds.len(),
+        opts.drop_budget,
+        opts.jobs
+    );
+    let report = explore(&opts);
+    println!(
+        "explored {} reference + {} faulty runs: {} failing cell(s), {} minimized repro(s)",
+        report.reference_runs,
+        report.fault_runs,
+        report.failing_cells,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "  {} ss={} drops {:?} -> {:?} ({} probe runs, {} -> {} ops): {}",
+            f.workload,
+            f.schedule_seed,
+            f.original_drops,
+            f.repro.drops,
+            f.shrink.probe_runs,
+            f.shrink.ops_before,
+            f.shrink.ops_after,
+            f.failure.detail
+        );
+    }
+    for p in &report.repro_paths {
+        println!("  repro: {}", p.display());
+    }
+    if report.failing_cells > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(argv: &[String]) -> ExitCode {
+    let Some(path) = argv.first() else {
+        eprintln!("usage: ftdircmp-explore replay FILE.ron");
+        return ExitCode::from(2);
+    };
+    let repro = match read_repro(std::path::Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {path}: {} workload {:?}, schedule seed {}, drops {:?}, expecting {}",
+        repro.protocol.name(),
+        repro.workload.name,
+        repro.schedule_seed,
+        repro.drops,
+        repro.failure
+    );
+    match repro.replay() {
+        Some(f) if f.kind == repro.failure => {
+            println!("reproduced: {}", f.detail);
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            println!(
+                "failure kind changed: recorded {}, observed {} ({})",
+                repro.failure, f.kind, f.detail
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("did not reproduce: run completed cleanly");
+            ExitCode::FAILURE
+        }
+    }
+}

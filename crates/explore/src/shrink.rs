@@ -1,0 +1,249 @@
+//! Minimizing counterexample shrinker.
+//!
+//! Given a failing (configuration, workload, drop set) triple, reduce it
+//! to a locally-minimal reproduction that still fails with the **same
+//! failure kind** — a deadlock must stay a deadlock, a checker violation a
+//! violation. Two passes, both driven by re-running the deterministic
+//! simulator as an oracle:
+//!
+//! 1. **Drop-set minimization** — classic delta debugging (`ddmin`,
+//!    Zeller & Hildebrandt) over the injection indices. Runs to a
+//!    1-minimal set when the probe budget allows: removing any single
+//!    remaining drop makes the failure disappear.
+//! 2. **Trace minimization** — whole cores are emptied, then contiguous
+//!    chunks of each surviving core's operations are removed at halving
+//!    granularity. Trace edits shift the global message-injection indices,
+//!    which is safe precisely because every candidate is re-validated by
+//!    an actual run.
+//!
+//! The shrinker is budget-bounded: it performs at most
+//! [`ShrinkOptions::max_runs`] probe simulations and returns the best
+//! reproduction found so far when the budget runs out. All decisions are
+//! deterministic, so shrinking the same failure twice yields the same
+//! minimal repro.
+
+use ftdircmp_core::{CoreTrace, SystemConfig, Workload};
+
+use crate::FailureKind;
+
+/// Shrinker budget.
+#[derive(Debug, Clone)]
+pub struct ShrinkOptions {
+    /// Maximum probe simulations across both passes.
+    pub max_runs: usize,
+}
+
+impl Default for ShrinkOptions {
+    fn default() -> Self {
+        ShrinkOptions { max_runs: 300 }
+    }
+}
+
+/// Work performed and reduction achieved by one shrink.
+#[derive(Debug, Clone, Default)]
+pub struct ShrinkStats {
+    /// Probe simulations executed.
+    pub probe_runs: usize,
+    /// Drop-set size before / after.
+    pub drops_before: usize,
+    /// Drop-set size after minimization.
+    pub drops_after: usize,
+    /// Total trace operations before / after.
+    pub ops_before: usize,
+    /// Total trace operations after minimization.
+    pub ops_after: usize,
+}
+
+/// Budget-tracking probe wrapper.
+struct Oracle<'a> {
+    config: &'a SystemConfig,
+    kind: FailureKind,
+    runs: usize,
+    max_runs: usize,
+}
+
+impl Oracle<'_> {
+    /// Whether (workload, drops) still fails with the original kind.
+    /// Returns `false` without running once the budget is exhausted, so
+    /// every caller conservatively keeps its current reproduction.
+    fn fails(&mut self, workload: &Workload, drops: &[u64]) -> bool {
+        if self.runs >= self.max_runs {
+            return false;
+        }
+        self.runs += 1;
+        crate::probe(self.config, workload, drops).is_some_and(|f| f.kind == self.kind)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.runs >= self.max_runs
+    }
+}
+
+/// Minimizes a failing reproduction.
+///
+/// `config` carries everything but the fault schedule (protocol, seeds,
+/// timeouts); `drops` is the failing drop set (may be empty for
+/// schedule-seed-only failures). The input must actually fail with `kind`
+/// under `config` — the caller observed it — so the input itself is never
+/// re-validated and the worst case returns it unchanged.
+///
+/// Returns the minimized `(drops, workload)` pair and the work done.
+pub fn shrink_failure(
+    config: &SystemConfig,
+    workload: &Workload,
+    drops: &[u64],
+    kind: FailureKind,
+    opts: &ShrinkOptions,
+) -> (Vec<u64>, Workload, ShrinkStats) {
+    let mut oracle = Oracle {
+        config,
+        kind,
+        runs: 0,
+        max_runs: opts.max_runs,
+    };
+    let mut stats = ShrinkStats {
+        drops_before: drops.len(),
+        ops_before: workload.traces.iter().map(CoreTrace::len).sum(),
+        ..ShrinkStats::default()
+    };
+
+    // Pass 1: minimize the drop set against the full workload.
+    let mut min_drops = ddmin(drops.to_vec(), &mut |cand| oracle.fails(workload, cand));
+
+    // Pass 2: minimize the trace against the minimized drop set.
+    let min_workload = shrink_trace(workload, &min_drops, &mut oracle);
+
+    // Trace edits may have made some drops redundant (their message no
+    // longer exists or no longer matters): one more cheap ddmin pass.
+    if min_workload != *workload && min_drops.len() > 1 {
+        min_drops = ddmin(min_drops, &mut |cand| oracle.fails(&min_workload, cand));
+    }
+
+    stats.probe_runs = oracle.runs;
+    stats.drops_after = min_drops.len();
+    stats.ops_after = min_workload.traces.iter().map(CoreTrace::len).sum();
+    (min_drops, min_workload, stats)
+}
+
+/// Delta debugging over a set of drop indices: returns a subset that still
+/// satisfies `test`, 1-minimal when `test` never lies (budget exhaustion
+/// makes `test` report `false`, which only stops further reduction).
+///
+/// The input is assumed to satisfy `test`; singletons and empty sets are
+/// returned unchanged (an empty failing drop set has nothing to remove).
+fn ddmin(mut items: Vec<u64>, test: &mut impl FnMut(&[u64]) -> bool) -> Vec<u64> {
+    let mut granularity = 2usize;
+    while items.len() >= 2 {
+        let chunk = items.len().div_ceil(granularity);
+        let mut reduced = false;
+        // Try each chunk alone, then each complement.
+        for start in (0..items.len()).step_by(chunk) {
+            let subset: Vec<u64> = items[start..(start + chunk).min(items.len())].to_vec();
+            if subset.len() < items.len() && test(&subset) {
+                items = subset;
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+            let complement: Vec<u64> = items[..start]
+                .iter()
+                .chain(&items[(start + chunk).min(items.len())..])
+                .copied()
+                .collect();
+            if !complement.is_empty() && complement.len() < items.len() && test(&complement) {
+                items = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if granularity >= items.len() {
+                break; // 1-minimal.
+            }
+            granularity = (granularity * 2).min(items.len());
+        }
+    }
+    items
+}
+
+/// Minimizes the workload traces while `(workload, drops)` keeps failing.
+fn shrink_trace(workload: &Workload, drops: &[u64], oracle: &mut Oracle<'_>) -> Workload {
+    let mut best = workload.clone();
+
+    // Pass A: empty whole cores (cores must stay in place — core index is
+    // part of the system topology — so an removed core keeps an empty
+    // trace).
+    for core in (0..best.traces.len()).rev() {
+        if best.traces[core].is_empty() || oracle.exhausted() {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.traces[core] = CoreTrace::new(Vec::new());
+        if oracle.fails(&candidate, drops) {
+            best = candidate;
+        }
+    }
+
+    // Pass B: remove contiguous op chunks per core at halving granularity.
+    for core in 0..best.traces.len() {
+        let mut ops = best.traces[core].ops().to_vec();
+        let mut chunk = ops.len() / 2;
+        while chunk >= 1 && !oracle.exhausted() {
+            let mut start = 0;
+            while start < ops.len() && !oracle.exhausted() {
+                let end = (start + chunk).min(ops.len());
+                let mut shorter = ops.clone();
+                shorter.drain(start..end);
+                let mut candidate = best.clone();
+                candidate.traces[core] = CoreTrace::new(shorter.clone());
+                if oracle.fails(&candidate, drops) {
+                    ops = shorter;
+                    best = candidate;
+                    // Same start: the next chunk slid into this position.
+                } else {
+                    start = end;
+                }
+            }
+            chunk /= 2;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ddmin against a pure predicate (no simulator): the failing property
+    /// is "contains both 13 and 27".
+    #[test]
+    fn ddmin_finds_the_two_culprits() {
+        let items: Vec<u64> = (0..40).collect();
+        let mut probes = 0;
+        let result = ddmin(items, &mut |cand| {
+            probes += 1;
+            cand.contains(&13) && cand.contains(&27)
+        });
+        let mut sorted = result.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![13, 27]);
+        assert!(probes < 200, "ddmin took {probes} probes");
+    }
+
+    #[test]
+    fn ddmin_single_culprit_and_degenerate_inputs() {
+        let result = ddmin((0..17).collect(), &mut |cand| cand.contains(&5));
+        assert_eq!(result, vec![5]);
+        assert_eq!(ddmin(vec![9], &mut |_| true), vec![9]);
+        assert_eq!(ddmin(Vec::new(), &mut |_| true), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn ddmin_keeps_input_when_nothing_smaller_fails() {
+        // Failure needs the whole set: no subset may be returned.
+        let input: Vec<u64> = (0..8).collect();
+        let result = ddmin(input.clone(), &mut |cand| cand.len() == input.len());
+        assert_eq!(result, input);
+    }
+}

@@ -139,26 +139,56 @@ impl Default for FaultConfig {
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     config: FaultConfig,
+    /// `config.drop_indices` sorted and deduplicated, consumed via
+    /// `drop_cursor`: `should_drop` is O(1) amortized instead of a
+    /// `Vec::contains` scan per message.
+    sorted_drops: Vec<u64>,
+    drop_cursor: usize,
     rng: DetRng,
     burst_remaining: u64,
     messages_seen: u64,
     messages_dropped: u64,
+    injection_log: Option<Vec<VcClass>>,
 }
 
 impl FaultInjector {
     /// Creates an injector with its own random stream.
+    ///
+    /// A deterministic drop schedule may be given unsorted and with
+    /// duplicates; it is normalized here.
     pub fn new(config: FaultConfig, rng: DetRng) -> Self {
+        let mut sorted_drops = config.drop_indices.clone().unwrap_or_default();
+        sorted_drops.sort_unstable();
+        sorted_drops.dedup();
         FaultInjector {
             config,
+            sorted_drops,
+            drop_cursor: 0,
             rng,
             burst_remaining: 0,
             messages_seen: 0,
             messages_dropped: 0,
+            injection_log: None,
         }
+    }
+
+    /// Starts recording the virtual-channel class of every message examined
+    /// (index-aligned with the deterministic drop schedule). Used by the
+    /// exploration harness to aim drops at protocol-dense message classes.
+    pub fn enable_injection_log(&mut self) {
+        self.injection_log = Some(Vec::new());
+    }
+
+    /// Per-index class log (empty unless enabled).
+    pub fn injection_log(&self) -> &[VcClass] {
+        self.injection_log.as_deref().unwrap_or(&[])
     }
 
     /// Decides whether the next message (of `class`) is lost.
     pub fn should_drop_class(&mut self, class: VcClass) -> bool {
+        if let Some(log) = &mut self.injection_log {
+            log.push(class);
+        }
         if !self.config.targets(class) {
             self.messages_seen += 1;
             return false;
@@ -169,10 +199,20 @@ impl FaultInjector {
     /// Decides whether the next message is lost.
     pub fn should_drop(&mut self) -> bool {
         // Deterministic schedule takes precedence.
-        if let Some(indices) = &self.config.drop_indices {
+        if self.config.drop_indices.is_some() {
             let index = self.messages_seen;
             self.messages_seen += 1;
-            if indices.contains(&index) {
+            // Indices are sorted and message indices arrive ascending, so a
+            // cursor replaces the former O(n) `contains` per message.
+            while self
+                .sorted_drops
+                .get(self.drop_cursor)
+                .is_some_and(|&i| i < index)
+            {
+                self.drop_cursor += 1;
+            }
+            if self.sorted_drops.get(self.drop_cursor) == Some(&index) {
+                self.drop_cursor += 1;
                 self.messages_dropped += 1;
                 return true;
             }
@@ -293,6 +333,52 @@ mod tests {
         let pattern: Vec<bool> = (0..6).map(|_| inj.should_drop()).collect();
         assert_eq!(pattern, vec![true, false, false, true, false, false]);
         assert_eq!(inj.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_drop_indices_are_normalized() {
+        // The cursor-based schedule must behave as a set: order and
+        // duplicates in the input are irrelevant.
+        let cfg = FaultConfig::drop_exactly(vec![5, 1, 5, 3, 1]);
+        let mut inj = FaultInjector::new(cfg, DetRng::from_seed(1));
+        let pattern: Vec<bool> = (0..8).map(|_| inj.should_drop()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, true, false, true, false, true, false, false]
+        );
+        assert_eq!(inj.messages_dropped(), 3);
+    }
+
+    #[test]
+    fn drop_schedule_mixed_with_untargeted_classes_keeps_global_indices() {
+        // Indices count every message examined, including ones whose class
+        // is exempt from injection.
+        let cfg = FaultConfig {
+            drop_indices: Some(vec![2, 0]),
+            only_classes: Some(vec![VcClass::Request]),
+            ..FaultConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg, DetRng::from_seed(1));
+        // Index 0 is an exempt class: not dropped despite being scheduled.
+        assert!(!inj.should_drop_class(VcClass::Response));
+        assert!(!inj.should_drop_class(VcClass::Request)); // index 1
+        assert!(inj.should_drop_class(VcClass::Request)); // index 2: dropped
+        assert!(!inj.should_drop_class(VcClass::Request)); // index 3
+        assert_eq!(inj.messages_dropped(), 1);
+    }
+
+    #[test]
+    fn injection_log_records_classes_in_index_order() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), DetRng::from_seed(2));
+        assert!(inj.injection_log().is_empty());
+        inj.enable_injection_log();
+        inj.should_drop_class(VcClass::Request);
+        inj.should_drop_class(VcClass::Unblock);
+        inj.should_drop_class(VcClass::Request);
+        assert_eq!(
+            inj.injection_log(),
+            &[VcClass::Request, VcClass::Unblock, VcClass::Request]
+        );
     }
 
     #[test]

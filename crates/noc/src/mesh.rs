@@ -44,6 +44,16 @@ pub struct MeshConfig {
     /// ordering (like adaptive routing), so only FtDirCMP tolerates it; the
     /// stress suite uses it to explore message reorderings.
     pub jitter_cycles: u64,
+    /// Exploration knob: add a uniformly random extra delay of up to this
+    /// many cycles at **every hop** of the route (contention-like noise).
+    /// Like `jitter_cycles` it breaks point-to-point ordering, but it skews
+    /// with distance, reaching interleavings end-to-end jitter cannot.
+    pub hop_jitter_cycles: u64,
+    /// Record the virtual-channel class of every message the fault injector
+    /// examines (see [`FaultInjector::injection_log`]). The exploration
+    /// harness uses the log to aim deterministic drops at protocol-dense
+    /// message classes.
+    pub record_injections: bool,
 }
 
 impl Default for MeshConfig {
@@ -57,6 +67,8 @@ impl Default for MeshConfig {
             routing: RoutingMode::DimensionOrdered,
             faults: FaultConfig::none(),
             jitter_cycles: 0,
+            hop_jitter_cycles: 0,
+            record_injections: false,
         }
     }
 }
@@ -119,7 +131,10 @@ impl Mesh {
         let topology = Topology::new(config.width, config.height);
         let link_free = vec![Cycle::ZERO; topology.link_slots()];
         let link_busy = vec![0u64; topology.link_slots()];
-        let fault = FaultInjector::new(config.faults.clone(), rng.fork("fault-injector"));
+        let mut fault = FaultInjector::new(config.faults.clone(), rng.fork("fault-injector"));
+        if config.record_injections {
+            fault.enable_injection_log();
+        }
         let route_rng = rng.fork("adaptive-routes");
         let jitter_rng = rng.fork("jitter");
         Mesh {
@@ -199,6 +214,7 @@ impl Mesh {
             link_free,
             link_busy,
             route_rng,
+            jitter_rng,
             ..
         } = self;
         let mut arrive = now;
@@ -209,6 +225,9 @@ impl Mesh {
             link_free[idx] = depart + ser;
             link_busy[idx] += ser;
             arrive = depart + ser + config.router_latency;
+            if config.hop_jitter_cycles > 0 {
+                arrive += jitter_rng.below(config.hop_jitter_cycles + 1);
+            }
             hops += 1;
         };
         match config.routing {
@@ -516,6 +535,71 @@ mod tests {
             distinct.insert(at - Cycle::new(i * 1000));
         }
         assert!(distinct.len() > 5, "jitter should spread latencies");
+    }
+
+    #[test]
+    fn hop_jitter_perturbs_and_skews_with_distance() {
+        let config = MeshConfig {
+            hop_jitter_cycles: 40,
+            ..MeshConfig::default()
+        };
+        let mut m = Mesh::new(config, DetRng::from_seed(6));
+        let mut distinct = std::collections::HashSet::new();
+        let mut max_latency = 0;
+        for i in 0..32u64 {
+            let sent = Cycle::new(i * 1000);
+            let at = m
+                .send(
+                    sent,
+                    RouterId::new(0),
+                    RouterId::new(15),
+                    8,
+                    VcClass::Request,
+                )
+                .delivered_at()
+                .unwrap();
+            distinct.insert(at - sent);
+            max_latency = max_latency.max(at - sent);
+        }
+        assert!(distinct.len() > 5, "hop jitter should spread latencies");
+        // 6 hops of up to 40 extra cycles each can exceed one delivery's
+        // worth of end-to-end jitter.
+        assert!(max_latency > m.zero_load_latency(6, 8));
+    }
+
+    #[test]
+    fn injection_log_matches_drop_indices() {
+        let config = MeshConfig {
+            record_injections: true,
+            ..MeshConfig::default()
+        };
+        let mut m = Mesh::new(config, DetRng::from_seed(7));
+        m.send(
+            Cycle::ZERO,
+            RouterId::new(0),
+            RouterId::new(1),
+            8,
+            VcClass::Request,
+        );
+        // Local delivery: never examined by the injector, absent from the log.
+        m.send(
+            Cycle::ZERO,
+            RouterId::new(2),
+            RouterId::new(2),
+            72,
+            VcClass::Response,
+        );
+        m.send(
+            Cycle::ZERO,
+            RouterId::new(0),
+            RouterId::new(4),
+            8,
+            VcClass::Unblock,
+        );
+        assert_eq!(
+            m.fault_injector().injection_log(),
+            &[VcClass::Request, VcClass::Unblock]
+        );
     }
 
     #[test]

@@ -14,6 +14,17 @@ use crate::Cycle;
 /// [`EventQueue::now`] to the popped event's timestamp. Scheduling an event in
 /// the past is a logic error and panics.
 ///
+/// # Schedule perturbation
+///
+/// [`EventQueue::with_schedule_seed`] replaces FIFO tie-breaking with a
+/// seeded pseudo-random permutation of same-cycle events: each scheduled
+/// event gets a tie-break key mixed from `(schedule_seed, seq)`, so events
+/// landing on the same cycle can be delivered in any order — but the order
+/// is a pure function of the schedule seed, so every run is exactly
+/// reproducible. Seed `0` is the identity permutation (plain FIFO), which
+/// keeps all pre-perturbation expected outputs unchanged. Time order across
+/// cycles is never affected.
+///
 /// # Example
 ///
 /// ```
@@ -32,22 +43,28 @@ pub struct EventQueue<E> {
     seq: u64,
     now: Cycle,
     scheduled_total: u64,
+    schedule_seed: u64,
 }
 
 #[derive(Debug)]
 struct Scheduled<E> {
     at: Cycle,
+    /// Tie-break key: equals `seq` under FIFO, a seeded hash of `seq` under
+    /// schedule perturbation.
+    key: u64,
     seq: u64,
     event: E,
 }
 
 // BinaryHeap is a max-heap; invert the ordering to pop the earliest event
-// (and, within a cycle, the lowest sequence number) first.
+// (and, within a cycle, the lowest tie-break key) first. `seq` is unique and
+// breaks key collisions, keeping the order total in every case.
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -67,14 +84,26 @@ impl<E> PartialEq for Scheduled<E> {
 impl<E> Eq for Scheduled<E> {}
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at time zero.
+    /// Creates an empty queue at time zero with FIFO tie-breaking.
     pub fn new() -> Self {
+        EventQueue::with_schedule_seed(0)
+    }
+
+    /// Creates an empty queue whose same-cycle tie-breaking is a seeded
+    /// permutation. Seed `0` is plain FIFO (identical to [`EventQueue::new`]).
+    pub fn with_schedule_seed(schedule_seed: u64) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             now: Cycle::ZERO,
             scheduled_total: 0,
+            schedule_seed,
         }
+    }
+
+    /// The active schedule seed (`0` = FIFO tie-breaking).
+    pub fn schedule_seed(&self) -> u64 {
+        self.schedule_seed
     }
 
     /// Current simulated time: the timestamp of the last popped event.
@@ -97,7 +126,17 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let key = if self.schedule_seed == 0 {
+            seq
+        } else {
+            crate::rng::splitmix64(self.schedule_seed ^ crate::rng::splitmix64(seq))
+        };
+        self.heap.push(Scheduled {
+            at,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Schedules `event` `delay` cycles after the current time.
@@ -208,6 +247,54 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(Cycle::new(2)));
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    /// Drains a queue seeded with `seed` after scheduling `n` events on the
+    /// same cycle, returning the delivery order.
+    fn same_cycle_order(seed: u64, n: u64) -> Vec<u64> {
+        let mut q = EventQueue::with_schedule_seed(seed);
+        for i in 0..n {
+            q.schedule(Cycle::new(5), i);
+        }
+        std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect()
+    }
+
+    #[test]
+    fn schedule_seed_zero_is_fifo() {
+        assert_eq!(same_cycle_order(0, 64), (0..64).collect::<Vec<u64>>());
+        assert_eq!(EventQueue::<u8>::new().schedule_seed(), 0);
+    }
+
+    #[test]
+    fn schedule_seed_permutes_same_cycle_events() {
+        let perturbed = same_cycle_order(0xC0FFEE, 64);
+        assert_ne!(perturbed, (0..64).collect::<Vec<u64>>());
+        // Still a permutation: every event delivered exactly once.
+        let mut sorted = perturbed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn schedule_seed_is_reproducible_and_seed_sensitive() {
+        assert_eq!(same_cycle_order(7, 32), same_cycle_order(7, 32));
+        assert_ne!(same_cycle_order(7, 32), same_cycle_order(8, 32));
+    }
+
+    #[test]
+    fn perturbation_never_reorders_across_cycles() {
+        let mut q = EventQueue::with_schedule_seed(99);
+        for i in 0..100u64 {
+            q.schedule(Cycle::new(i / 10), i);
+        }
+        let mut last = Cycle::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last, "time order violated");
+            last = at;
+            count += 1;
+        }
+        assert_eq!(count, 100);
     }
 
     #[test]

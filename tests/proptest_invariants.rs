@@ -113,6 +113,39 @@ proptest! {
     }
 
     #[test]
+    fn ftdircmp_coherent_under_perturbed_schedules(
+        wl in arb_trace(8, 50),
+        seed in 0u64..1000,
+        schedule_seed in 0u64..u64::MAX,
+    ) {
+        // Schedule perturbation reorders same-cycle event delivery (like an
+        // unordered network reorders messages); FtDirCMP must stay coherent
+        // under any schedule seed. DirCMP is exempt: it assumes point-to-
+        // point ordering, which nonzero seeds legitimately break.
+        check_run(
+            SystemConfig::ftdircmp()
+                .with_seed(seed)
+                .with_schedule_seed(schedule_seed),
+            &wl,
+        )?;
+    }
+
+    #[test]
+    fn ftdircmp_coherent_under_faults_and_perturbed_schedules(
+        wl in arb_trace(8, 40),
+        seed in 0u64..1000,
+        schedule_seed in 0u64..u64::MAX,
+        rate in 0.0f64..20_000.0,
+    ) {
+        let mut cfg = SystemConfig::ftdircmp()
+            .with_fault_rate(rate)
+            .with_seed(seed)
+            .with_schedule_seed(schedule_seed);
+        cfg.watchdog_cycles = 3_000_000;
+        check_run(cfg, &wl)?;
+    }
+
+    #[test]
     fn runs_are_deterministic(wl in arb_trace(4, 30), seed in 0u64..100) {
         let cfg = || {
             let mut c = SystemConfig::ftdircmp().with_fault_rate(3000.0).with_seed(seed);

@@ -204,11 +204,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         if self.parent.enabled(&full) {
             run_one(&full, self.parent.measurement, f);

@@ -398,10 +398,7 @@ pub mod strategy {
                 '\\' => match chars.next() {
                     Some('P') => {
                         let cat = chars.next().expect("category after \\P");
-                        assert!(
-                            cat == 'C',
-                            "regex stub only supports \\PC, got \\P{cat}"
-                        );
+                        assert!(cat == 'C', "regex stub only supports \\PC, got \\P{cat}");
                         not_control_pool()
                     }
                     Some(esc @ ('\\' | '.' | '-' | '[' | ']' | '{' | '}')) => vec![(esc, esc)],
@@ -440,14 +437,13 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> String {
             let mut out = String::new();
             for atom in &self.atoms {
-                let reps =
-                    atom.min + rng.below(u64::from(atom.max - atom.min) + 1) as u32;
+                let reps = atom.min + rng.below(u64::from(atom.max - atom.min) + 1) as u32;
                 for _ in 0..reps {
                     let (lo, hi) = atom.pool[rng.below(atom.pool.len() as u64) as usize];
                     let span = hi as u32 - lo as u32 + 1;
                     // Skip the surrogate gap if a range were to cross it.
-                    let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
-                        .unwrap_or(lo);
+                    let c =
+                        char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32).unwrap_or(lo);
                     out.push(c);
                 }
             }
