@@ -16,15 +16,15 @@ fn bench_protocols(c: &mut Criterion) {
         let spec = WorkloadSpec::named(name).unwrap();
         let wl = spec.generate(16, 1);
         g.bench_with_input(BenchmarkId::new("dircmp", name), &wl, |b, wl| {
-            b.iter(|| System::run_workload(SystemConfig::dircmp(), wl).unwrap())
+            b.iter(|| System::run_workload(SystemConfig::dircmp(), wl).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("ftdircmp", name), &wl, |b, wl| {
-            b.iter(|| System::run_workload(SystemConfig::ftdircmp(), wl).unwrap())
+            b.iter(|| System::run_workload(SystemConfig::ftdircmp(), wl).unwrap());
         });
         let faulty = SystemConfig::ftdircmp().with_fault_rate(2000.0);
         g.bench_with_input(BenchmarkId::new("ftdircmp_faulty", name), &wl, |b, wl| {
             let cfg = faulty.clone();
-            b.iter(|| System::run_workload(cfg.clone(), wl).unwrap())
+            b.iter(|| System::run_workload(cfg.clone(), wl).unwrap());
         });
     }
     g.finish();
@@ -45,7 +45,7 @@ fn bench_mesh(c: &mut Criterion) {
                     VcClass::Request,
                 ));
             }
-        })
+        });
     });
 }
 
@@ -69,7 +69,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 std::hint::black_box(e);
             }
             std::hint::black_box(q.len())
-        })
+        });
     });
 }
 
@@ -90,7 +90,7 @@ fn bench_routing(c: &mut Criterion) {
                 }
             }
             std::hint::black_box(hops)
-        })
+        });
     });
     // The Vec-collecting wrapper, for comparison.
     c.bench_function("route_xy_collect_all_pairs", |b| {
@@ -102,7 +102,7 @@ fn bench_routing(c: &mut Criterion) {
                 }
             }
             std::hint::black_box(hops)
-        })
+        });
     });
 }
 
@@ -112,7 +112,7 @@ fn bench_workload_generation(c: &mut Criterion) {
             for spec in ftdircmp_workloads::suite() {
                 std::hint::black_box(spec.generate(16, 7));
             }
-        })
+        });
     });
 }
 

@@ -137,29 +137,26 @@ impl<V> SetAssocCache<V> {
             .filter(|(_, w)| evictable(w.addr, &w.value))
             .min_by_key(|(_, w)| w.stamp)
             .map(|(i, _)| i);
-        match victim {
-            Some(i) => {
-                let old = std::mem::replace(
-                    &mut set[i],
-                    Way {
-                        addr,
-                        value,
-                        stamp: clock,
-                    },
-                );
-                self.evictions += 1;
-                InsertOutcome {
-                    evicted: Some((old.addr, old.value)),
-                    overflowed: false,
-                }
+        if let Some(i) = victim {
+            let old = std::mem::replace(
+                &mut set[i],
+                Way {
+                    addr,
+                    value,
+                    stamp: clock,
+                },
+            );
+            self.evictions += 1;
+            InsertOutcome {
+                evicted: Some((old.addr, old.value)),
+                overflowed: false,
             }
-            None => {
-                self.overflow.insert(addr, value);
-                self.overflow_peak = self.overflow_peak.max(self.overflow.len());
-                InsertOutcome {
-                    evicted: None,
-                    overflowed: true,
-                }
+        } else {
+            self.overflow.insert(addr, value);
+            self.overflow_peak = self.overflow_peak.max(self.overflow.len());
+            InsertOutcome {
+                evicted: None,
+                overflowed: true,
             }
         }
     }

@@ -92,6 +92,18 @@ impl Checker {
         }
     }
 
+    /// Records a protocol-level error: a message or timeout that the reified
+    /// transition tables declare impossible for the controller's current
+    /// state, or one that no handler accepts.  Surfaced as a `PROTOCOL:`
+    /// violation instead of panicking a campaign worker mid-sweep.
+    pub fn protocol_error(&mut self, node: NodeId, addr: LineAddr, what: &str, at: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        let msg = format!("PROTOCOL: {node} on {addr}: {what}");
+        self.violation(at, msg);
+    }
+
     /// Records that `node` now holds `perm` on `addr`.
     pub fn set_perm(&mut self, node: NodeId, addr: LineAddr, perm: Perm, at: Cycle) {
         if !self.enabled {

@@ -574,8 +574,69 @@ impl L1Controller {
     // Message handling
     // ------------------------------------------------------------------
 
+    /// The line's current facet configuration, in the state vocabulary of
+    /// the reified transition table ([`crate::transitions::l1_table`]).
+    /// The first entry is always the mandatory `Cache` facet.
+    pub fn table_facets(&self, addr: LineAddr) -> Vec<&'static str> {
+        let mut f = Vec::with_capacity(4);
+        f.push(match self.cache.get(addr) {
+            None => "I",
+            Some(e) => match (e.perm, e.blocked) {
+                (L1Perm::S, _) => "S",
+                (L1Perm::O, _) => "O",
+                (L1Perm::E, false) => "E",
+                (L1Perm::E, true) => "Eb",
+                (L1Perm::M, false) => "M",
+                (L1Perm::M, true) => "Mb",
+            },
+        });
+        if let Some(m) = self.miss.get(&addr) {
+            f.push(match (m.kind, self.cache.get(addr).map(|e| e.perm)) {
+                (MissKind::Load, _) => "IS",
+                (MissKind::Store, Some(L1Perm::S)) => "SM",
+                (MissKind::Store, Some(L1Perm::O)) => "OM",
+                (MissKind::Store, _) => "IM",
+            });
+        }
+        if let Some(w) = self.wb.get(&addr) {
+            f.push(match (w.data.is_some(), w.was_exclusive, w.dirty) {
+                (false, _, _) => "II",
+                (true, true, true) => "MI",
+                (true, true, false) => "EI",
+                (true, false, _) => "OI",
+            });
+        }
+        if let Some(b) = self.backups.get(&addr) {
+            f.push(match b.kind {
+                BackupKind::ForwardedData { .. } => "B",
+                BackupKind::Writeback => "Bw",
+            });
+        }
+        f
+    }
+
+    /// Cross-checks an incoming message against the reified transition
+    /// table (guards are not evaluated — this is an over-approximation).
+    /// Only active while the invariant checker is enabled, keeping the
+    /// campaign hot path untouched.
+    fn table_check(&self, msg: &Message, ctx: &mut Ctx<'_>) {
+        if !ctx.checker.is_enabled() {
+            return;
+        }
+        let facets = self.table_facets(msg.addr);
+        if !crate::transitions::l1_table().legal_message(&facets, msg.mtype) {
+            ctx.checker.protocol_error(
+                self.me,
+                msg.addr,
+                &format!("unexpected {} in state {}", msg.mtype, facets.join("+")),
+                ctx.now,
+            );
+        }
+    }
+
     /// Handles an incoming network message.
     pub fn handle_message(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        self.table_check(&msg, ctx);
         match msg.mtype {
             MsgType::Data => self.on_data(msg, false, ctx),
             MsgType::DataEx => self.on_data(msg, true, ctx),
@@ -590,8 +651,16 @@ impl L1Controller {
             MsgType::WbPing => self.on_wb_ping(msg, ctx),
             MsgType::OwnershipPing => self.on_ownership_ping(msg, ctx),
             MsgType::NackO => self.on_nacko(msg, ctx),
-            other => {
-                debug_assert!(false, "L1 received unexpected {other}");
+            MsgType::GetX
+            | MsgType::GetS
+            | MsgType::Put
+            | MsgType::Unblock
+            | MsgType::UnblockEx
+            | MsgType::WbData
+            | MsgType::WbNoData
+            | MsgType::WbCancel => {
+                // Misrouted: no L1 handler. `table_check` above recorded the
+                // protocol violation; drop the message instead of panicking.
             }
         }
     }
@@ -651,10 +720,11 @@ impl L1Controller {
         );
         if let Some(entry) = self.cache.get(msg.addr) {
             if entry.perm.is_exclusive() || entry.blocked {
-                // A stale Inv from a reissued older transaction (only
-                // possible under FtDirCMP): the Ack above carries the stale
-                // serial and will be discarded; keep the line.
-                debug_assert!(self.ft, "Inv reached an exclusive owner under DirCMP");
+                // A stale Inv: from a reissued older transaction (FtDirCMP)
+                // or delayed past a complete later transaction that made
+                // this node the owner (possible under plain DirCMP with an
+                // adversarial schedule).  The Ack above is stale and will
+                // be discarded by its requester; keep the line.
                 return;
             }
             self.cache.remove(msg.addr);
@@ -1072,7 +1142,14 @@ impl L1Controller {
             TimeoutKind::LostAckBd => self.on_lost_ackbd(addr, gen, ctx),
             TimeoutKind::LostData => self.on_lost_data(addr, gen, ctx),
             TimeoutKind::LostUnblock => {
-                debug_assert!(false, "L1 does not own lost-unblock timers");
+                // The table declares this pair impossible: L1s never arm
+                // lost-unblock timers. Record it instead of panicking.
+                ctx.checker.protocol_error(
+                    self.me,
+                    addr,
+                    "lost-unblock timeout fired at an L1 (never armed)",
+                    ctx.now,
+                );
             }
         }
     }

@@ -296,8 +296,58 @@ impl L2Controller {
     // Entry points
     // ------------------------------------------------------------------
 
+    /// The line's current facet configuration, in the state vocabulary of
+    /// the reified transition table ([`crate::transitions::l2_table`]).
+    /// The first entry is always the mandatory `Line` facet.
+    pub fn table_facets(&self, addr: LineAddr) -> Vec<&'static str> {
+        let mut f = Vec::with_capacity(4);
+        f.push(match self.cache.get(addr) {
+            None => "NP",
+            Some(line) if line.owner.is_some() => "MT",
+            Some(_) => "RO",
+        });
+        if let Some(tbe) = self.tbes.get(&addr) {
+            f.push(match tbe.stage {
+                Stage::WaitMem => "WaitMem",
+                Stage::WaitUnblock => "WaitUnblock",
+                Stage::WaitWbData => "WaitWbData",
+                Stage::WaitWbAckBd => "WaitWbAckBd",
+                Stage::WaitRecall => "WaitRecall",
+                Stage::WaitRecallAckBd => "WaitRecallAckBd",
+                Stage::WaitMemWbAck => "WaitMemWbAck",
+            });
+        }
+        if self.ext_pending.contains_key(&addr) {
+            f.push("EXT");
+        }
+        if self.mem_backups.contains_key(&addr) {
+            f.push("MB");
+        }
+        f
+    }
+
+    /// Cross-checks an incoming message against the reified transition
+    /// table (guards are not evaluated — this is an over-approximation).
+    /// Only active while the invariant checker is enabled, keeping the
+    /// campaign hot path untouched.
+    fn table_check(&self, msg: &Message, ctx: &mut Ctx<'_>) {
+        if !ctx.checker.is_enabled() {
+            return;
+        }
+        let facets = self.table_facets(msg.addr);
+        if !crate::transitions::l2_table().legal_message(&facets, msg.mtype) {
+            ctx.checker.protocol_error(
+                self.me,
+                msg.addr,
+                &format!("unexpected {} in state {}", msg.mtype, facets.join("+")),
+                ctx.now,
+            );
+        }
+    }
+
     /// Handles an incoming network message.
     pub fn handle_message(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        self.table_check(&msg, ctx);
         match msg.mtype {
             MsgType::GetS | MsgType::GetX | MsgType::Put => self.on_request(msg, ctx),
             MsgType::Unblock | MsgType::UnblockEx => self.on_unblock(msg, ctx),
@@ -311,8 +361,9 @@ impl L2Controller {
             MsgType::WbPing => self.on_wb_ping(msg, ctx),
             MsgType::OwnershipPing => self.on_ownership_ping(msg, ctx),
             MsgType::NackO => self.on_nacko(msg, ctx),
-            other => {
-                debug_assert!(false, "L2 received unexpected {other}");
+            MsgType::Inv | MsgType::FwdGetS | MsgType::FwdGetX => {
+                // Misrouted: no L2 handler. `table_check` above recorded the
+                // protocol violation; drop the message instead of panicking.
             }
         }
     }
@@ -473,7 +524,14 @@ impl L2Controller {
         match msg.mtype {
             MsgType::GetS | MsgType::GetX => self.service_get(msg, ctx),
             MsgType::Put => self.service_put(msg, ctx),
-            _ => unreachable!("only requests are serviced"),
+            other => {
+                ctx.checker.protocol_error(
+                    self.me,
+                    msg.addr,
+                    &format!("{other} reached request servicing"),
+                    ctx.now,
+                );
+            }
         }
     }
 
@@ -843,7 +901,18 @@ impl L2Controller {
                     self.cache.remove(addr);
                 }
             }
-            _ => unreachable!(),
+            other => {
+                // Only writeback-data messages are dispatched here; anything
+                // else is a protocol error, not a panic.
+                ctx.checker.protocol_error(
+                    self.me,
+                    addr,
+                    &format!("{other} reached writeback-data handling"),
+                    ctx.now,
+                );
+                self.tbes.insert(addr, tbe);
+                return;
+            }
         }
         self.pump_waiting(addr, ctx);
     }

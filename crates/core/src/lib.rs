@@ -53,6 +53,7 @@ mod testharness;
 pub mod trace;
 pub mod trace_io;
 pub mod tracelog;
+pub mod transitions;
 
 pub use config::{FtConfig, ProtocolVariant, SystemConfig};
 pub use data::LineData;

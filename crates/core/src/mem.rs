@@ -111,8 +111,48 @@ impl MemController {
         self.gen_counter
     }
 
+    /// The line's current facet configuration, in the state vocabulary of
+    /// the reified transition table ([`crate::transitions::mem_table`]).
+    /// The first entry is always the mandatory `Line` facet.
+    pub fn table_facets(&self, addr: LineAddr) -> Vec<&'static str> {
+        let mut f = Vec::with_capacity(2);
+        f.push(if self.l2_owned.contains(&addr) {
+            "C"
+        } else {
+            "U"
+        });
+        if let Some(tbe) = self.tbes.get(&addr) {
+            f.push(match tbe.stage {
+                MemStage::WaitUnblock => "WaitUnblock",
+                MemStage::WaitWbData => "WaitWbData",
+                MemStage::WaitAckBd => "WaitAckBd",
+            });
+        }
+        f
+    }
+
+    /// Cross-checks an incoming message against the reified transition
+    /// table (guards are not evaluated — this is an over-approximation).
+    /// Only active while the invariant checker is enabled, keeping the
+    /// campaign hot path untouched.
+    fn table_check(&self, msg: &Message, ctx: &mut Ctx<'_>) {
+        if !ctx.checker.is_enabled() {
+            return;
+        }
+        let facets = self.table_facets(msg.addr);
+        if !crate::transitions::mem_table().legal_message(&facets, msg.mtype) {
+            ctx.checker.protocol_error(
+                self.me,
+                msg.addr,
+                &format!("unexpected {} in state {}", msg.mtype, facets.join("+")),
+                ctx.now,
+            );
+        }
+    }
+
     /// Handles an incoming network message.
     pub fn handle_message(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        self.table_check(&msg, ctx);
         match msg.mtype {
             MsgType::GetX | MsgType::GetS | MsgType::Put => self.on_request(msg, ctx),
             MsgType::Unblock | MsgType::UnblockEx => self.on_unblock(msg, ctx),
@@ -127,8 +167,19 @@ impl MemController {
                 );
             }
             MsgType::OwnershipPing => self.on_ownership_ping(msg, ctx),
-            other => {
-                debug_assert!(false, "memory received unexpected {other}");
+            MsgType::WbAck
+            | MsgType::Inv
+            | MsgType::Ack
+            | MsgType::Data
+            | MsgType::DataEx
+            | MsgType::FwdGetS
+            | MsgType::FwdGetX
+            | MsgType::UnblockPing
+            | MsgType::WbPing
+            | MsgType::NackO => {
+                // Misrouted: no memory handler. `table_check` above recorded
+                // the protocol violation; drop the message instead of
+                // panicking.
             }
         }
     }
@@ -276,7 +327,14 @@ impl MemController {
                 wback.wb_wants_data = true;
                 ctx.send(wback, 2);
             }
-            _ => unreachable!("only requests are serviced"),
+            other => {
+                ctx.checker.protocol_error(
+                    self.me,
+                    msg.addr,
+                    &format!("{other} reached request servicing"),
+                    ctx.now,
+                );
+            }
         }
     }
 
@@ -360,7 +418,15 @@ impl MemController {
                 self.l2_owned.remove(&msg.addr);
                 self.tbes.remove(&msg.addr);
             }
-            _ => unreachable!(),
+            other => {
+                ctx.checker.protocol_error(
+                    self.me,
+                    msg.addr,
+                    &format!("{other} reached writeback-data handling"),
+                    ctx.now,
+                );
+                return;
+            }
         }
         self.pump_waiting(msg.addr, ctx);
     }

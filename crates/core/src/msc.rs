@@ -147,8 +147,8 @@ mod tests {
         let chart = render(&events, LineAddr(7));
         let lines: Vec<&str> = chart.lines().collect();
         assert!(lines[0].contains("L1-0") && lines[0].contains("L2-1"));
-        assert!(lines[1].contains("GetX") && lines[1].contains(">"));
-        assert!(lines[2].contains("DataEx") && lines[2].contains("<"));
+        assert!(lines[1].contains("GetX") && lines[1].contains('>'));
+        assert!(lines[2].contains("DataEx") && lines[2].contains('<'));
     }
 
     #[test]

@@ -433,13 +433,13 @@ impl System {
                 };
                 match node {
                     NodeId::L1(i) => {
-                        self.l1s[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx)
+                        self.l1s[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx);
                     }
                     NodeId::L2(i) => {
-                        self.l2s[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx)
+                        self.l2s[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx);
                     }
                     NodeId::Mem(i) => {
-                        self.mems[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx)
+                        self.mems[usize::from(i)].handle_timeout(kind, addr, gen, &mut ctx);
                     }
                 }
             }

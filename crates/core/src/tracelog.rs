@@ -139,7 +139,7 @@ impl TraceSink for StderrSink {
                     m.mtype,
                     m.serial,
                     m.ack_count,
-                    m.data.map(|d| d.version() as i64).unwrap_or(-1),
+                    m.data.map_or(-1, |d| d.version() as i64),
                     m.data_dirty,
                     m.piggy_acko,
                     m.wb_stale,

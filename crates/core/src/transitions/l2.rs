@@ -1,0 +1,345 @@
+//! Reified transition table for an L2 bank (directory) controller.
+//!
+//! Facet families:
+//! * `Line` (mandatory, default `NP`): directory-visible line state —
+//!   `NP` not present, `RO` resident with the bank holding data and no L1
+//!   owner, `MT` an L1 owner holds the line.
+//! * `Tbe`: an allocated transaction buffer entry, named by its stage.
+//! * `Ext`: the §3.1.1 external-unblock record (`EXT`) — the bank has
+//!   unblocked the requester but memory's AckBD is still outstanding.
+//! * `MemBk`: backup of data written back to memory (`MB`), held until
+//!   memory acknowledges ownership (§3.1).
+
+use super::Resource::{
+    ExtPending, MemBackup, Tbe, TimerLostAckBd, TimerLostData, TimerLostRequest, TimerLostUnblock,
+};
+use super::{
+    defer, ignore, impossible, msg, tmo, Controller, ControllerTable, Event, Exception, StateDecl,
+};
+use crate::msg::MsgType;
+use crate::proto::TimeoutKind;
+
+const TBE_STATES: [&str; 7] = [
+    "WaitMem",
+    "WaitUnblock",
+    "WaitWbData",
+    "WaitWbAckBd",
+    "WaitRecall",
+    "WaitRecallAckBd",
+    "WaitMemWbAck",
+];
+
+fn states() -> Vec<StateDecl> {
+    vec![
+        StateDecl::new("NP", "Line", "not present in this bank"),
+        StateDecl::new("RO", "Line", "resident, bank holds data, no L1 owner"),
+        StateDecl::new("MT", "Line", "an L1 owner holds the line"),
+        StateDecl::new("WaitMem", "Tbe", "fill requested from memory")
+            .implies(&[Tbe])
+            .ft_implies(&[TimerLostRequest]),
+        StateDecl::new("WaitUnblock", "Tbe", "grant sent, waiting for Unblock")
+            .implies(&[Tbe])
+            .ft_implies(&[TimerLostUnblock]),
+        StateDecl::new(
+            "WaitWbData",
+            "Tbe",
+            "WbAck sent, waiting for writeback data",
+        )
+        .implies(&[Tbe])
+        .ft_implies(&[TimerLostUnblock]),
+        StateDecl::new(
+            "WaitWbAckBd",
+            "Tbe",
+            "writeback data taken, waiting for AckBD",
+        )
+        .ft()
+        .implies(&[Tbe, TimerLostAckBd, TimerLostUnblock]),
+        StateDecl::new("WaitRecall", "Tbe", "victim recall in progress")
+            .implies(&[Tbe])
+            .ft_implies(&[TimerLostUnblock]),
+        StateDecl::new(
+            "WaitRecallAckBd",
+            "Tbe",
+            "recall data taken, waiting for AckBD",
+        )
+        .ft()
+        .implies(&[Tbe, TimerLostAckBd, TimerLostUnblock]),
+        StateDecl::new(
+            "WaitMemWbAck",
+            "Tbe",
+            "Put sent to memory, waiting for WbAck",
+        )
+        .implies(&[Tbe])
+        .ft_implies(&[TimerLostRequest]),
+        StateDecl::new("EXT", "Ext", "external unblock pending at memory (§3.1.1)")
+            .ft()
+            .implies(&[ExtPending, TimerLostAckBd]),
+        StateDecl::new(
+            "MB",
+            "MemBk",
+            "backup of data written back to memory (§3.1)",
+        )
+        .ft()
+        .implies(&[MemBackup, TimerLostData]),
+    ]
+}
+
+#[allow(clippy::too_many_lines)]
+fn rows() -> Vec<super::Transition> {
+    crate::transitions![
+        // ---- Request admission & service ------------------------------
+        { [NP] @ msg(MsgType::GetS), if "miss: fill from memory" => [WaitMem];
+          sends [GetX -> MemCtl]; alloc [Tbe]; ft_alloc [TimerLostRequest];
+          paper "§2 L2 miss" },
+        { [NP] @ msg(MsgType::GetX), if "miss: fill from memory" => [WaitMem];
+          sends [GetX -> MemCtl]; alloc [Tbe]; ft_alloc [TimerLostRequest] },
+        { [RO] @ msg(MsgType::GetS), if "no sharers: exclusive grant" => [RO, WaitUnblock];
+          sends [DataEx -> Requester]; alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        { [RO] @ msg(MsgType::GetS), if "sharers exist: shared grant" => [RO, WaitUnblock];
+          sends [Data -> Requester]; alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        { [RO] @ msg(MsgType::GetX), if "exclusive grant with invalidations" => [RO, WaitUnblock];
+          sends [DataEx -> Requester, Inv -> Sharers];
+          alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        { [MT] @ msg(MsgType::GetS), if "forward to owner" => [MT, WaitUnblock];
+          sends [FwdGetS -> OwnerL1]; alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        { [MT] @ msg(MsgType::GetS), if "migratory grant" => [MT, WaitUnblock];
+          sends [FwdGetX -> OwnerL1]; alloc [Tbe]; ft_alloc [TimerLostUnblock];
+          paper "migratory sharing" },
+        { [MT] @ msg(MsgType::GetX), if "owner upgrade" => [MT, WaitUnblock];
+          sends [DataEx -> Requester, Inv -> Sharers];
+          alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        { [MT] @ msg(MsgType::GetX), if "forward to owner" => [MT, WaitUnblock];
+          sends [FwdGetX -> OwnerL1, Inv -> Sharers];
+          alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        { [MT] @ msg(MsgType::Put), if "from the current owner" => [MT, WaitWbData];
+          sends [WbAck -> Requester]; alloc [Tbe]; ft_alloc [TimerLostUnblock];
+          paper "three-phase writeback" },
+        { [MT] @ msg(MsgType::Put), if "not the owner: stale put acknowledged" => [MT];
+          sends [WbAck -> Sender] },
+        { [NP] @ msg(MsgType::Put), if "stale put acknowledged" => [NP];
+          sends [WbAck -> Sender] },
+        { [RO] @ msg(MsgType::Put), if "stale put acknowledged" => [RO];
+          sends [WbAck -> Sender] },
+        // ---- Unblocks -------------------------------------------------
+        { [WaitUnblock] @ msg(MsgType::UnblockEx), if "exclusive grant acknowledged" => [MT];
+          gate NonFtOnly; free [Tbe] },
+        { [WaitUnblock] @ msg(MsgType::UnblockEx),
+          if "exclusive grant acknowledged (AckBD for piggybacked AckO)" => [MT];
+          gate FtOnly; sends [AckBD -> Sender]; free [Tbe, TimerLostUnblock] },
+        { [WaitUnblock] @ msg(MsgType::UnblockEx), if "fill from memory: unblock forwarded" => [MT];
+          gate NonFtOnly; sends [UnblockEx -> MemCtl]; free [Tbe] },
+        { [WaitUnblock] @ msg(MsgType::UnblockEx),
+          if "fill from memory: external unblock pending" => [MT, EXT];
+          gate FtOnly; sends [UnblockEx -> MemCtl, AckO -> MemCtl, AckBD -> Sender];
+          free [Tbe, TimerLostUnblock]; alloc [ExtPending, TimerLostAckBd];
+          paper "§3.1.1" },
+        { [WaitUnblock] @ msg(MsgType::Unblock), if "shared grant acknowledged" => [];
+          free [Tbe]; ft_free [TimerLostUnblock] },
+        // ---- Writeback data -------------------------------------------
+        { [WaitWbData] @ msg(MsgType::WbData), if "writeback data accepted" => [RO];
+          gate NonFtOnly; free [Tbe] },
+        { [WaitWbData] @ msg(MsgType::WbData),
+          if "writeback data accepted: ownership handshake" => [RO, WaitWbAckBd];
+          gate FtOnly; sends [AckO -> Sender]; alloc [TimerLostAckBd];
+          paper "§3.1" },
+        { [WaitWbData] @ msg(MsgType::WbNoData), if "no data: line dropped" => [NP];
+          free [Tbe]; ft_free [TimerLostUnblock] },
+        { [WaitWbData] @ msg(MsgType::WbNoData), if "copies remain" => [RO];
+          free [Tbe]; ft_free [TimerLostUnblock] },
+        { [WaitWbData] @ msg(MsgType::WbCancel), if "cancelled: line dropped" => [NP];
+          free [Tbe]; ft_free [TimerLostUnblock] },
+        { [WaitWbData] @ msg(MsgType::WbCancel), if "cancelled: copies remain" => [RO];
+          free [Tbe]; ft_free [TimerLostUnblock] },
+        { [WaitWbAckBd] @ msg(MsgType::AckBD), if "handshake complete" => [];
+          gate FtOnly; free [Tbe, TimerLostAckBd, TimerLostUnblock] },
+        // ---- Memory fill ----------------------------------------------
+        { [WaitMem] @ msg(MsgType::DataEx), if "memory fill" => [RO, WaitUnblock];
+          gate NonFtOnly; sends [DataEx -> Blocker, UnblockEx -> MemCtl] },
+        { [WaitMem] @ msg(MsgType::DataEx), if "memory fill" => [RO, WaitUnblock];
+          gate FtOnly; sends [DataEx -> Blocker];
+          free [TimerLostRequest]; alloc [TimerLostUnblock] },
+        // ---- Victim selection (internal bank eviction) ----------------
+        { [RO] @ Event::Victim, if "clean, uncached above: silent drop" => [] },
+        { [RO] @ Event::Victim, if "dirty, uncached above: write back" => [WaitMemWbAck];
+          sends [Put -> MemCtl]; alloc [Tbe]; ft_alloc [TimerLostRequest] },
+        { [RO] @ Event::Victim, if "sharers exist: recall" => [WaitRecall];
+          sends [Inv -> Sharers]; alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        { [MT] @ Event::Victim, if "owner holds the line: recall" => [WaitRecall];
+          sends [FwdGetX -> OwnerL1, Inv -> Sharers];
+          alloc [Tbe]; ft_alloc [TimerLostUnblock] },
+        // ---- Victim recall --------------------------------------------
+        { [WaitRecall] @ msg(MsgType::DataEx), if "recall data from owner" => [WaitRecallAckBd];
+          gate FtOnly; sends [AckO -> Sender]; alloc [TimerLostAckBd] },
+        { [WaitRecall] @ msg(MsgType::DataEx), if "recall data, acks pending" => [WaitRecall];
+          gate NonFtOnly },
+        { [WaitRecall] @ msg(MsgType::DataEx), if "recall complete, clean: dropped" => [];
+          gate NonFtOnly; free [Tbe] },
+        { [WaitRecall] @ msg(MsgType::DataEx), if "recall complete, dirty: write back" => [WaitMemWbAck];
+          gate NonFtOnly; sends [Put -> MemCtl] },
+        { [WaitRecall] @ msg(MsgType::Ack), if "sharer invalidated, more pending" => [WaitRecall] },
+        { [WaitRecall] @ msg(MsgType::Ack), if "last ack, clean: dropped" => [];
+          free [Tbe]; ft_free [TimerLostUnblock] },
+        { [WaitRecall] @ msg(MsgType::Ack), if "last ack, dirty: write back" => [WaitMemWbAck];
+          sends [Put -> MemCtl]; ft_free [TimerLostUnblock]; ft_alloc [TimerLostRequest] },
+        { [WaitRecallAckBd] @ msg(MsgType::Ack), if "sharer invalidated" => [WaitRecallAckBd];
+          gate FtOnly },
+        { [WaitRecallAckBd] @ msg(MsgType::AckBD), if "acks still pending" => [WaitRecall];
+          gate FtOnly; free [TimerLostAckBd] },
+        { [WaitRecallAckBd] @ msg(MsgType::AckBD), if "recall complete, clean: dropped" => [];
+          gate FtOnly; free [Tbe, TimerLostAckBd, TimerLostUnblock] },
+        { [WaitRecallAckBd] @ msg(MsgType::AckBD), if "recall complete, dirty: write back" => [WaitMemWbAck];
+          gate FtOnly; sends [Put -> MemCtl];
+          free [TimerLostAckBd, TimerLostUnblock]; alloc [TimerLostRequest] },
+        // ---- Writeback to memory --------------------------------------
+        { [WaitMemWbAck] @ msg(MsgType::WbAck), if "memory writeback proceeds" => [];
+          gate NonFtOnly; sends [WbData -> Sender]; free [Tbe] },
+        { [WaitMemWbAck] @ msg(MsgType::WbAck), if "memory writeback proceeds" => [MB];
+          gate FtOnly; sends [WbData -> Sender];
+          free [Tbe, TimerLostRequest]; alloc [MemBackup, TimerLostData];
+          paper "§3.1" },
+        { [WaitMemWbAck] @ msg(MsgType::WbAck), if "stale writeback: dropped" => [];
+          free [Tbe]; ft_free [TimerLostRequest] },
+        // ---- Ownership handshake --------------------------------------
+        { [MB] @ msg(MsgType::AckO), if "memory took ownership" => [];
+          gate FtOnly; sends [AckBD -> MemCtl]; free [MemBackup, TimerLostData] },
+        { [WaitUnblock] @ msg(MsgType::AckO), if "requester acknowledges ownership" => [WaitUnblock];
+          gate FtOnly; sends [AckBD -> Sender] },
+        { [NP] @ msg(MsgType::AckO), if "no backup: idempotent re-ack" => [NP];
+          gate FtOnly; sends [AckBD -> Sender]; paper "§3.4" },
+        { [EXT] @ msg(MsgType::AckBD), if "external unblock complete" => [];
+          gate FtOnly; free [ExtPending, TimerLostAckBd]; paper "§3.1.1" },
+        // ---- Recovery pings -------------------------------------------
+        { [WaitMem] @ msg(MsgType::UnblockPing), if "fill still pending: ignored" => [WaitMem];
+          gate FtOnly },
+        { [EXT] @ msg(MsgType::UnblockPing), if "re-send external unblock" => [EXT];
+          gate FtOnly; sends [UnblockEx -> Sender, AckO -> Sender] },
+        { [NP] @ msg(MsgType::UnblockPing), if "idempotent re-unblock" => [NP];
+          gate FtOnly; sends [UnblockEx -> Sender, AckO -> Sender]; paper "§3.4" },
+        { [RO] @ msg(MsgType::UnblockPing), if "idempotent re-unblock" => [RO];
+          gate FtOnly; sends [UnblockEx -> Sender, AckO -> Sender] },
+        { [MT] @ msg(MsgType::UnblockPing), if "idempotent re-unblock" => [MT];
+          gate FtOnly; sends [UnblockEx -> Sender, AckO -> Sender] },
+        { [WaitMemWbAck] @ msg(MsgType::WbPing), if "ping completes memory writeback" => [MB];
+          gate FtOnly; sends [WbData -> Sender];
+          free [Tbe, TimerLostRequest]; alloc [MemBackup, TimerLostData] },
+        { [MB] @ msg(MsgType::WbPing), if "backup re-sends data" => [MB];
+          gate FtOnly; sends [WbData -> Sender]; paper "§3.3" },
+        { [NP] @ msg(MsgType::WbPing), if "no writeback in flight" => [NP];
+          gate FtOnly; sends [WbCancel -> Sender] },
+        { [RO] @ msg(MsgType::WbPing), if "no writeback in flight" => [RO];
+          gate FtOnly; sends [WbCancel -> Sender] },
+        { [MT] @ msg(MsgType::WbPing), if "no writeback in flight" => [MT];
+          gate FtOnly; sends [WbCancel -> Sender] },
+        { [WaitWbData] @ msg(MsgType::OwnershipPing), if "writeback in flight: refused" => [WaitWbData];
+          gate FtOnly; sends [NackO -> Sender]; paper "§3.3" },
+        { [NP] @ msg(MsgType::OwnershipPing) => [NP]; gate FtOnly; sends [AckO -> Sender] },
+        { [RO] @ msg(MsgType::OwnershipPing) => [RO]; gate FtOnly; sends [AckO -> Sender] },
+        { [MT] @ msg(MsgType::OwnershipPing) => [MT]; gate FtOnly; sends [AckO -> Sender] },
+        { [MB] @ msg(MsgType::NackO), if "memory refused: re-send data" => [MB];
+          gate FtOnly; sends [WbData -> MemCtl]; paper "§3.3" },
+        // ---- Timeouts -------------------------------------------------
+        { [WaitUnblock] @ tmo(TimeoutKind::LostUnblock), if "ping the blocker" => [WaitUnblock];
+          gate FtOnly; sends [UnblockPing -> Blocker]; paper "§3.5" },
+        { [WaitWbData] @ tmo(TimeoutKind::LostUnblock), if "ping the writer" => [WaitWbData];
+          gate FtOnly; sends [WbPing -> Blocker] },
+        { [WaitRecall] @ tmo(TimeoutKind::LostUnblock), if "re-prod owner and sharers" => [WaitRecall];
+          gate FtOnly; sends [FwdGetX -> OwnerL1, Inv -> Sharers] },
+        { [WaitRecallAckBd] @ tmo(TimeoutKind::LostUnblock), if "re-prod sharers" => [WaitRecallAckBd];
+          gate FtOnly; sends [Inv -> Sharers] },
+        { [WaitWbAckBd] @ tmo(TimeoutKind::LostUnblock), if "inert while AckBD pending" => [WaitWbAckBd];
+          gate FtOnly },
+        { [WaitMem] @ tmo(TimeoutKind::LostRequest), if "reissue fill" => [WaitMem];
+          gate FtOnly; sends [GetX -> MemCtl]; paper "§3.2" },
+        { [WaitMemWbAck] @ tmo(TimeoutKind::LostRequest), if "reissue writeback" => [WaitMemWbAck];
+          gate FtOnly; sends [Put -> MemCtl] },
+        { [WaitWbAckBd] @ tmo(TimeoutKind::LostAckBd), if "re-send AckO" => [WaitWbAckBd];
+          gate FtOnly; sends [AckO -> Blocker]; paper "§3.4" },
+        { [WaitRecallAckBd] @ tmo(TimeoutKind::LostAckBd), if "re-send AckO" => [WaitRecallAckBd];
+          gate FtOnly; sends [AckO -> OwnerL1] },
+        { [EXT] @ tmo(TimeoutKind::LostAckBd), if "re-send external unblock" => [EXT];
+          gate FtOnly; sends [UnblockEx -> MemCtl, AckO -> MemCtl] },
+        { [MB] @ tmo(TimeoutKind::LostData), if "probe memory" => [MB];
+          gate FtOnly; sends [OwnershipPing -> MemCtl]; paper "§3.3" },
+    ]
+}
+
+fn exceptions() -> Vec<Exception> {
+    use MsgType as T;
+    let mut ex = Vec::new();
+    for t in [T::Inv, T::FwdGetS, T::FwdGetX] {
+        ex.push(impossible("*", msg(t), "never routed to an L2 bank"));
+    }
+    for t in [
+        T::Unblock,
+        T::UnblockEx,
+        T::WbData,
+        T::WbNoData,
+        T::WbCancel,
+        T::Data,
+        T::DataEx,
+        T::Ack,
+        T::WbAck,
+        T::AckO,
+        T::AckBD,
+        T::UnblockPing,
+        T::WbPing,
+        T::OwnershipPing,
+        T::NackO,
+    ] {
+        ex.push(ignore(
+            "*",
+            msg(t),
+            "stale serial or no matching TBE: discarded",
+        ));
+    }
+    for k in TimeoutKind::ALL {
+        ex.push(ignore("*", tmo(k), "stale timer generation: no-op"));
+    }
+    for s in TBE_STATES {
+        for t in [T::GetS, T::GetX, T::Put] {
+            ex.push(ignore(
+                s,
+                msg(t),
+                "queued behind the active transaction (FT reissues refresh the serial)",
+            ));
+        }
+    }
+    for s in ["EXT", "MB"] {
+        for t in [T::GetS, T::GetX, T::Put] {
+            ex.push(defer(
+                s,
+                msg(t),
+                "Line facet services the request (§3.1.1 relaxation)",
+            ));
+        }
+    }
+    // Victim selection is an internal event: the bank only evicts lines
+    // with no active transaction, external-unblock record, or backup.
+    ex.push(impossible(
+        "NP",
+        Event::Victim,
+        "absent lines cannot be victims",
+    ));
+    for s in TBE_STATES {
+        ex.push(impossible(
+            s,
+            Event::Victim,
+            "a line with an active transaction is never chosen as victim",
+        ));
+    }
+    ex.push(impossible(
+        "EXT",
+        Event::Victim,
+        "ext-blocked lines are never chosen as victims",
+    ));
+    ex.push(impossible(
+        "MB",
+        Event::Victim,
+        "backup lines are not cache-resident",
+    ));
+    ex
+}
+
+pub(super) fn build() -> Result<ControllerTable, String> {
+    ControllerTable::new(Controller::L2, states(), rows(), exceptions())
+}

@@ -1,0 +1,748 @@
+//! Reified protocol transition tables.
+//!
+//! The three controller state machines (L1, L2 bank, memory controller) are
+//! declared here as data: per controller a set of *states* grouped into
+//! *facet families*, a list of *transition rows*, and a list of *exceptions*
+//! (pairs that are declared impossible, or benignly ignored / discarded).
+//!
+//! A cache line's configuration at a controller is one state per family:
+//! the first declared family is *mandatory* (its first state is the default,
+//! e.g. `I` at L1), the remaining families are optional (at most one state,
+//! or absent).  A row belongs to its source state's family; `next` may name
+//! states across several families — applying a row sets every family that is
+//! mentioned, and clears the source's family if it is not (mandatory
+//! families fall back to their default).  `next = []` means the facet ends.
+//!
+//! Each state declares the resources (MSHRs, TBEs, backups, armed timers)
+//! its presence *implies*; each row declares the resource deltas the handler
+//! performs.  `ftdircmp-lint` checks the books balance (lint 4), that every
+//! (state, event) pair is covered (lint 1), that the tables match
+//! PROTOCOL.md (lint 2), that an abstract single-line model agrees with the
+//! reachability claims (lint 3), and that FT-only machinery is unreachable
+//! with fault tolerance disabled (lint 5).
+//!
+//! The simulator cross-checks incoming messages against these tables at
+//! runtime when the invariant checker is enabled (see `handle_message` in
+//! `l1.rs` / `l2.rs` / `mem.rs`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::msg::MsgType;
+use crate::proto::TimeoutKind;
+
+mod l1;
+mod l2;
+mod mem;
+
+/// Which controller a table describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Controller {
+    L1,
+    L2,
+    Mem,
+}
+
+impl Controller {
+    pub const ALL: [Controller; 3] = [Controller::L1, Controller::L2, Controller::Mem];
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Controller::L1 => "L1",
+            Controller::L2 => "L2",
+            Controller::Mem => "Mem",
+        }
+    }
+}
+
+/// Processor-side events (only meaningful at the L1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuOp {
+    Load,
+    Store,
+    Evict,
+}
+
+impl CpuOp {
+    pub const ALL: [CpuOp; 3] = [CpuOp::Load, CpuOp::Store, CpuOp::Evict];
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuOp::Load => "Load",
+            CpuOp::Store => "Store",
+            CpuOp::Evict => "Evict",
+        }
+    }
+}
+
+/// An event class a controller reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    Msg(MsgType),
+    Cpu(CpuOp),
+    Timeout(TimeoutKind),
+    /// Internal L2 event: the line is selected as a victim to make room
+    /// for a fill install (bank eviction).
+    Victim,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Msg(t) => write!(f, "{}", t.name()),
+            Event::Cpu(op) => write!(f, "cpu:{}", op.name()),
+            Event::Timeout(k) => write!(f, "timeout:{}", k.label()),
+            Event::Victim => write!(f, "victim"),
+        }
+    }
+}
+
+/// Shorthand constructors used by the table modules.
+#[must_use]
+pub fn msg(t: MsgType) -> Event {
+    Event::Msg(t)
+}
+#[must_use]
+pub fn cpu(op: CpuOp) -> Event {
+    Event::Cpu(op)
+}
+#[must_use]
+pub fn tmo(k: TimeoutKind) -> Event {
+    Event::Timeout(k)
+}
+
+/// Whether a row applies with fault tolerance on, off, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    Both,
+    FtOnly,
+    NonFtOnly,
+}
+
+impl Gate {
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gate::Both => "both",
+            Gate::FtOnly => "ft",
+            Gate::NonFtOnly => "non-ft",
+        }
+    }
+
+    #[must_use]
+    pub fn active(self, ft: bool) -> bool {
+        match self {
+            Gate::Both => true,
+            Gate::FtOnly => ft,
+            Gate::NonFtOnly => !ft,
+        }
+    }
+}
+
+/// Destination role of an emitted message (resolved dynamically at runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The home L2 bank of the address.
+    Home,
+    /// The memory controller.
+    MemCtl,
+    /// The original requester named in the triggering message.
+    Requester,
+    /// The immediate sender of the triggering message.
+    Sender,
+    /// The L1 currently recorded as owner.
+    OwnerL1,
+    /// Every current sharer.
+    Sharers,
+    /// The node the local TBE/MSHR is blocked on.
+    Blocker,
+    /// The destination recorded in the local backup.
+    BackupDest,
+    /// The peer of a pending AckO/AckBD handshake.
+    AckPeer,
+    /// This controller itself (internal re-dispatch).
+    SelfNode,
+}
+
+impl Role {
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Home => "home",
+            Role::MemCtl => "mem",
+            Role::Requester => "requester",
+            Role::Sender => "sender",
+            Role::OwnerL1 => "owner",
+            Role::Sharers => "sharers",
+            Role::Blocker => "blocker",
+            Role::BackupDest => "backup-dest",
+            Role::AckPeer => "ack-peer",
+            Role::SelfNode => "self",
+        }
+    }
+}
+
+/// A countable resource whose occupancy is tied to controller states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// L1 miss MSHR.
+    Mshr,
+    /// L1 writeback MSHR.
+    WbMshr,
+    /// L2 / memory transaction buffer entry.
+    Tbe,
+    /// L1 data backup (§3.1).
+    Backup,
+    /// L2-side backup of data written back to memory.
+    MemBackup,
+    /// L2 external-unblock pending record (§3.1.1).
+    ExtPending,
+    /// L1 pending AckBD bookkeeping for a blocked line.
+    AckBdPend,
+    /// Armed lost-request timer.
+    TimerLostRequest,
+    /// Armed lost-unblock timer.
+    TimerLostUnblock,
+    /// Armed lost-AckBD timer.
+    TimerLostAckBd,
+    /// Armed lost-data (backup) timer.
+    TimerLostData,
+}
+
+impl Resource {
+    pub const ALL: [Resource; 11] = [
+        Resource::Mshr,
+        Resource::WbMshr,
+        Resource::Tbe,
+        Resource::Backup,
+        Resource::MemBackup,
+        Resource::ExtPending,
+        Resource::AckBdPend,
+        Resource::TimerLostRequest,
+        Resource::TimerLostUnblock,
+        Resource::TimerLostAckBd,
+        Resource::TimerLostData,
+    ];
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Mshr => "mshr",
+            Resource::WbMshr => "wb-mshr",
+            Resource::Tbe => "tbe",
+            Resource::Backup => "backup",
+            Resource::MemBackup => "mem-backup",
+            Resource::ExtPending => "ext-pending",
+            Resource::AckBdPend => "ackbd-pend",
+            Resource::TimerLostRequest => "t-lost-request",
+            Resource::TimerLostUnblock => "t-lost-unblock",
+            Resource::TimerLostAckBd => "t-lost-ackbd",
+            Resource::TimerLostData => "t-lost-data",
+        }
+    }
+
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Resource> {
+        Resource::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+/// Declaration of one controller state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDecl {
+    pub name: &'static str,
+    /// Facet family this state belongs to.  The first declared family is
+    /// mandatory; its first state is the default.
+    pub family: &'static str,
+    /// State only exists with fault tolerance enabled.
+    pub ft_only: bool,
+    /// Resources implied by this state in both modes.
+    pub implies: Vec<Resource>,
+    /// Additional resources implied only when fault tolerance is on.
+    pub ft_implies: Vec<Resource>,
+    pub desc: &'static str,
+}
+
+impl StateDecl {
+    #[must_use]
+    pub fn new(name: &'static str, family: &'static str, desc: &'static str) -> Self {
+        StateDecl {
+            name,
+            family,
+            ft_only: false,
+            implies: Vec::new(),
+            ft_implies: Vec::new(),
+            desc,
+        }
+    }
+
+    #[must_use]
+    pub fn ft(mut self) -> Self {
+        self.ft_only = true;
+        self
+    }
+
+    #[must_use]
+    pub fn implies(mut self, rs: &[Resource]) -> Self {
+        self.implies = rs.to_vec();
+        self
+    }
+
+    #[must_use]
+    pub fn ft_implies(mut self, rs: &[Resource]) -> Self {
+        self.ft_implies = rs.to_vec();
+        self
+    }
+
+    /// Resources implied by this state under the given mode.
+    #[must_use]
+    pub fn implied(&self, ft: bool) -> Vec<Resource> {
+        let mut v = self.implies.clone();
+        if ft {
+            v.extend_from_slice(&self.ft_implies);
+        }
+        v.sort_unstable();
+        v
+    }
+}
+
+/// One declarative transition row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    pub src: &'static str,
+    pub event: Event,
+    /// Free-text guard distinguishing rows that share (src, event).
+    pub guard: &'static str,
+    /// Resulting states, possibly across families (see module docs).
+    pub next: Vec<&'static str>,
+    /// Messages emitted by this row.
+    pub sends: Vec<(MsgType, Role)>,
+    /// Resources allocated / armed in both modes.
+    pub alloc: Vec<Resource>,
+    /// Resources freed / disarmed in both modes.
+    pub free: Vec<Resource>,
+    /// Extra allocations only performed when fault tolerance is on.
+    pub ft_alloc: Vec<Resource>,
+    /// Extra frees only performed when fault tolerance is on.
+    pub ft_free: Vec<Resource>,
+    pub gate: Gate,
+    /// Paper / PROTOCOL.md reference.
+    pub paper: &'static str,
+}
+
+impl Transition {
+    #[must_use]
+    pub fn new(src: &'static str, event: Event, next: &[&'static str]) -> Self {
+        Transition {
+            src,
+            event,
+            guard: "",
+            next: next.to_vec(),
+            sends: Vec::new(),
+            alloc: Vec::new(),
+            free: Vec::new(),
+            ft_alloc: Vec::new(),
+            ft_free: Vec::new(),
+            gate: Gate::Both,
+            paper: "",
+        }
+    }
+}
+
+/// Why a (state, event) pair has no transition row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExceptionKind {
+    /// The pair must never occur; observing it is a protocol error.
+    Impossible,
+    /// The pair is legal but terminally a no-op: the event is discarded
+    /// (stale duplicate) or queued for later replay; no coexisting facet
+    /// gets to act on it.
+    Ignore,
+    /// The pair is legal and this facet is transparent to it: a
+    /// coexisting facet of another (lower-priority) family handles the
+    /// event instead.
+    Defer,
+}
+
+/// Declares a (state, event) pair that intentionally has no row.
+/// `state == "*"` matches every state of the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exception {
+    pub state: &'static str,
+    pub event: Event,
+    pub kind: ExceptionKind,
+    pub reason: &'static str,
+}
+
+#[must_use]
+pub fn impossible(state: &'static str, event: Event, reason: &'static str) -> Exception {
+    Exception {
+        state,
+        event,
+        kind: ExceptionKind::Impossible,
+        reason,
+    }
+}
+
+#[must_use]
+pub fn ignore(state: &'static str, event: Event, reason: &'static str) -> Exception {
+    Exception {
+        state,
+        event,
+        kind: ExceptionKind::Ignore,
+        reason,
+    }
+}
+
+#[must_use]
+pub fn defer(state: &'static str, event: Event, reason: &'static str) -> Exception {
+    Exception {
+        state,
+        event,
+        kind: ExceptionKind::Defer,
+        reason,
+    }
+}
+
+/// How a (state, event) pair is covered by a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    Row,
+    Ignored,
+    Deferred,
+    Impossible,
+    Uncovered,
+}
+
+/// A complete, validated controller table.
+#[derive(Debug, Clone)]
+pub struct ControllerTable {
+    pub controller: Controller,
+    pub states: Vec<StateDecl>,
+    pub rows: Vec<Transition>,
+    pub exceptions: Vec<Exception>,
+    /// Declared family order; `families[0]` is the mandatory family.
+    pub families: Vec<&'static str>,
+    state_index: HashMap<&'static str, usize>,
+}
+
+impl ControllerTable {
+    /// Builds and validates a table.  Errors on unknown state names,
+    /// duplicate states, rows naming two next-states in one family, or
+    /// contradictory exception/row coverage.
+    pub fn new(
+        controller: Controller,
+        states: Vec<StateDecl>,
+        rows: Vec<Transition>,
+        exceptions: Vec<Exception>,
+    ) -> Result<Self, String> {
+        let mut state_index = HashMap::new();
+        let mut families: Vec<&'static str> = Vec::new();
+        for (i, s) in states.iter().enumerate() {
+            if state_index.insert(s.name, i).is_some() {
+                return Err(format!("{}: duplicate state {}", controller.name(), s.name));
+            }
+            if !families.contains(&s.family) {
+                families.push(s.family);
+            }
+        }
+        for row in &rows {
+            if !state_index.contains_key(row.src) {
+                return Err(format!(
+                    "{}: row `{} @ {}` names unknown source state",
+                    controller.name(),
+                    row.src,
+                    row.event
+                ));
+            }
+            let mut seen_families: Vec<&str> = Vec::new();
+            for n in &row.next {
+                let Some(&idx) = state_index.get(n) else {
+                    return Err(format!(
+                        "{}: row `{} @ {}` names unknown next state {}",
+                        controller.name(),
+                        row.src,
+                        row.event,
+                        n
+                    ));
+                };
+                let fam = states[idx].family;
+                if seen_families.contains(&fam) {
+                    return Err(format!(
+                        "{}: row `{} @ {}` sets family {} twice",
+                        controller.name(),
+                        row.src,
+                        row.event,
+                        fam
+                    ));
+                }
+                seen_families.push(fam);
+            }
+        }
+        for ex in &exceptions {
+            if ex.state != "*" && !state_index.contains_key(ex.state) {
+                return Err(format!(
+                    "{}: exception `{} @ {}` names unknown state",
+                    controller.name(),
+                    ex.state,
+                    ex.event
+                ));
+            }
+        }
+        Ok(ControllerTable {
+            controller,
+            states,
+            rows,
+            exceptions,
+            families,
+            state_index,
+        })
+    }
+
+    #[must_use]
+    pub fn state(&self, name: &str) -> Option<&StateDecl> {
+        self.state_index.get(name).map(|&i| &self.states[i])
+    }
+
+    /// The mandatory family's default state (first state of first family).
+    #[must_use]
+    pub fn default_state(&self) -> &StateDecl {
+        &self.states[0]
+    }
+
+    /// Full event universe for this controller (used by the completeness
+    /// lint): every message type, every timeout kind, and — at the L1 —
+    /// every CPU op.
+    #[must_use]
+    pub fn event_universe(&self) -> Vec<Event> {
+        let mut evs: Vec<Event> = MsgType::ALL.iter().map(|&t| Event::Msg(t)).collect();
+        if self.controller == Controller::L1 {
+            evs.extend(CpuOp::ALL.iter().map(|&op| Event::Cpu(op)));
+        }
+        if self.controller == Controller::L2 {
+            evs.push(Event::Victim);
+        }
+        evs.extend(TimeoutKind::ALL.iter().map(|&k| Event::Timeout(k)));
+        evs
+    }
+
+    pub fn rows_for(&self, state: &str, event: Event) -> impl Iterator<Item = &Transition> {
+        let state = state.to_owned();
+        self.rows
+            .iter()
+            .filter(move |r| r.src == state && r.event == event)
+    }
+
+    fn exception_for(&self, state: &str, event: Event) -> Option<&Exception> {
+        // Exact-state declarations take precedence over wildcards.
+        self.exceptions
+            .iter()
+            .find(|e| e.state == state && e.event == event)
+            .or_else(|| {
+                self.exceptions
+                    .iter()
+                    .find(|e| e.state == "*" && e.event == event)
+            })
+    }
+
+    /// Coverage of a (state, event) pair: a row wins over an exception.
+    #[must_use]
+    pub fn coverage(&self, state: &str, event: Event) -> Coverage {
+        if self.rows_for(state, event).next().is_some() {
+            return Coverage::Row;
+        }
+        match self.exception_for(state, event).map(|e| e.kind) {
+            Some(ExceptionKind::Ignore) => Coverage::Ignored,
+            Some(ExceptionKind::Defer) => Coverage::Deferred,
+            Some(ExceptionKind::Impossible) => Coverage::Impossible,
+            None => Coverage::Uncovered,
+        }
+    }
+
+    /// Runtime legality of a message arriving while the line's facets are
+    /// `facets` (one state name per populated family, mandatory family
+    /// always present).  Legal iff any facet has a row for the message or
+    /// declares it ignored.  Guards are *not* evaluated: this is an
+    /// over-approximation suitable for a cheap runtime cross-check.
+    #[must_use]
+    pub fn legal_message(&self, facets: &[&str], mt: MsgType) -> bool {
+        facets.iter().any(|f| {
+            !matches!(
+                self.coverage(f, Event::Msg(mt)),
+                Coverage::Impossible | Coverage::Uncovered
+            )
+        })
+    }
+}
+
+/// Builds one or more `Transition`s from a compact row grammar:
+///
+/// ```ignore
+/// row!([I] @ cpu(CpuOp::Load) => [IS];
+///      sends [GetS -> Home]; alloc [Mshr]; ft_alloc [TimerLostRequest];
+///      paper "§2")
+/// ```
+///
+/// Optional clauses, in order: `if "guard"` (after the event), `gate G`,
+/// `sends [..]`, `alloc [..]`, `free [..]`, `ft_alloc [..]`, `ft_free [..]`,
+/// `paper ".."`.
+#[macro_export]
+macro_rules! row {
+    ( [$($src:ident),+] @ $ev:expr $(, if $guard:literal)? => [$($next:ident),*]
+      $(; $($rest:tt)*)?
+    ) => {{
+        #[allow(unused_mut)]
+        let mut proto = $crate::transitions::Transition::new(
+            "",
+            $ev,
+            &[$(stringify!($next)),*],
+        );
+        $( proto.guard = $guard; )?
+        $( $crate::row_clauses!(proto; $($rest)*); )?
+        let mut out: Vec<$crate::transitions::Transition> = Vec::new();
+        $(
+            let mut t = proto.clone();
+            t.src = stringify!($src);
+            out.push(t);
+        )+
+        out
+    }};
+}
+
+/// Internal helper of [`row!`]: applies `; clause` items in any order.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! row_clauses {
+    ($p:ident; ) => {};
+    ($p:ident; gate $gate:ident $(; $($rest:tt)*)? ) => {
+        $p.gate = $crate::transitions::Gate::$gate;
+        $( $crate::row_clauses!($p; $($rest)*); )?
+    };
+    ($p:ident; sends [$($mt:ident -> $role:ident),* $(,)?] $(; $($rest:tt)*)? ) => {
+        $p.sends = vec![$((
+            $crate::msg::MsgType::$mt,
+            $crate::transitions::Role::$role
+        )),*];
+        $( $crate::row_clauses!($p; $($rest)*); )?
+    };
+    ($p:ident; alloc [$($r:ident),* $(,)?] $(; $($rest:tt)*)? ) => {
+        $p.alloc = vec![$($crate::transitions::Resource::$r),*];
+        $( $crate::row_clauses!($p; $($rest)*); )?
+    };
+    ($p:ident; free [$($r:ident),* $(,)?] $(; $($rest:tt)*)? ) => {
+        $p.free = vec![$($crate::transitions::Resource::$r),*];
+        $( $crate::row_clauses!($p; $($rest)*); )?
+    };
+    ($p:ident; ft_alloc [$($r:ident),* $(,)?] $(; $($rest:tt)*)? ) => {
+        $p.ft_alloc = vec![$($crate::transitions::Resource::$r),*];
+        $( $crate::row_clauses!($p; $($rest)*); )?
+    };
+    ($p:ident; ft_free [$($r:ident),* $(,)?] $(; $($rest:tt)*)? ) => {
+        $p.ft_free = vec![$($crate::transitions::Resource::$r),*];
+        $( $crate::row_clauses!($p; $($rest)*); )?
+    };
+    ($p:ident; paper $paper:literal $(; $($rest:tt)*)? ) => {
+        $p.paper = $paper;
+        $( $crate::row_clauses!($p; $($rest)*); )?
+    };
+}
+
+/// Collects `row!` invocations into a flat `Vec<Transition>`:
+///
+/// ```ignore
+/// transitions![
+///     { [I] @ cpu(CpuOp::Load) => [IS]; sends [GetS -> Home]; alloc [Mshr] },
+///     { [S, E, O, M] @ cpu(CpuOp::Load) => [] },
+/// ]
+/// ```
+///
+/// A `next` of `[]` in a multi-source row means "facet unchanged" is *not*
+/// implied — it means the facet ends; rows that keep the facet name it
+/// explicitly.
+#[macro_export]
+macro_rules! transitions {
+    ( $( { $($row:tt)* } ),* $(,)? ) => {{
+        let mut v: Vec<$crate::transitions::Transition> = Vec::new();
+        $( v.extend($crate::row!( $($row)* )); )*
+        v
+    }};
+}
+
+static L1_TABLE: OnceLock<ControllerTable> = OnceLock::new();
+static L2_TABLE: OnceLock<ControllerTable> = OnceLock::new();
+static MEM_TABLE: OnceLock<ControllerTable> = OnceLock::new();
+
+/// The reified L1 controller table.
+pub fn l1_table() -> &'static ControllerTable {
+    L1_TABLE.get_or_init(|| l1::build().expect("L1 transition table is malformed"))
+}
+
+/// The reified L2 bank controller table.
+pub fn l2_table() -> &'static ControllerTable {
+    L2_TABLE.get_or_init(|| l2::build().expect("L2 transition table is malformed"))
+}
+
+/// The reified memory controller table.
+pub fn mem_table() -> &'static ControllerTable {
+    MEM_TABLE.get_or_init(|| mem::build().expect("Mem transition table is malformed"))
+}
+
+/// Table for a controller by id.
+pub fn table(c: Controller) -> &'static ControllerTable {
+    match c {
+        Controller::L1 => l1_table(),
+        Controller::L2 => l2_table(),
+        Controller::Mem => mem_table(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_build() {
+        for c in Controller::ALL {
+            let t = table(c);
+            assert!(!t.states.is_empty());
+            assert!(!t.rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn default_states() {
+        assert_eq!(l1_table().default_state().name, "I");
+        assert_eq!(l2_table().default_state().name, "NP");
+        assert_eq!(mem_table().default_state().name, "U");
+    }
+
+    #[test]
+    fn misrouted_types_are_impossible() {
+        use crate::msg::MsgType as T;
+        for t in [T::GetX, T::GetS, T::Put, T::Unblock, T::UnblockEx] {
+            assert_eq!(
+                l1_table().coverage("I", Event::Msg(t)),
+                Coverage::Impossible,
+                "{t} should be impossible at L1"
+            );
+        }
+        for t in [T::Inv, T::FwdGetS, T::FwdGetX] {
+            assert_eq!(
+                l2_table().coverage("NP", Event::Msg(t)),
+                Coverage::Impossible
+            );
+        }
+    }
+
+    #[test]
+    fn legality_over_facets() {
+        use crate::msg::MsgType as T;
+        // A blocked line with a pending backup still accepts Inv.
+        assert!(l1_table().legal_message(&["Mb"], T::Inv));
+        // GetX is never legal at an L1, whatever the facets.
+        assert!(!l1_table().legal_message(&["I", "IS"], T::GetX));
+    }
+}

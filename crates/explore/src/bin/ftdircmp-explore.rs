@@ -55,19 +55,18 @@ fn cmd_explore(argv: &[String]) -> ExitCode {
     if let Some(names) = args.value_of("--workloads") {
         let mut specs = Vec::new();
         for name in names.split(',').filter(|n| !n.is_empty()) {
-            match WorkloadSpec::named(name) {
-                Some(s) => specs.push(s),
-                None => {
-                    eprintln!(
-                        "unknown workload {name:?}; available: {}",
-                        suite()
-                            .iter()
-                            .map(|s| s.name)
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    );
-                    return ExitCode::from(2);
-                }
+            if let Some(s) = WorkloadSpec::named(name) {
+                specs.push(s);
+            } else {
+                eprintln!(
+                    "unknown workload {name:?}; available: {}",
+                    suite()
+                        .iter()
+                        .map(|s| s.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::from(2);
             }
         }
         opts.specs = specs;
@@ -78,8 +77,7 @@ fn cmd_explore(argv: &[String]) -> ExitCode {
     opts.shrink_runs = args.u64_flag("--shrink-runs", opts.shrink_runs as u64) as usize;
     opts.out_dir = Some(
         args.value_of("--out")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("results/repros")),
+            .map_or_else(|| PathBuf::from("results/repros"), PathBuf::from),
     );
     if smoke {
         // Fixed small campaign for CI: 2 workloads at reduced size, seeds

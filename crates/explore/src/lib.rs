@@ -113,7 +113,7 @@ pub fn classify(workload: &Workload, result: &Result<SimReport, RunError>) -> Op
             detail: format!(
                 "{} checker violation(s): {}",
                 r.violations.len(),
-                r.violations.first().map(String::as_str).unwrap_or("")
+                r.violations.first().map_or("", String::as_str)
             ),
         }),
         Ok(r) if (r.total_mem_ops as usize) < workload.total_mem_ops() => Some(Failure {

@@ -350,8 +350,12 @@ pub fn write_repro(dir: &std::path::Path, repro: &Repro) -> std::io::Result<std:
 /// [`std::io::ErrorKind::InvalidData`].
 pub fn read_repro(path: &std::path::Path) -> std::io::Result<Repro> {
     let text = std::fs::read_to_string(path)?;
-    Repro::from_ron(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path:?}: {e}")))
+    Repro::from_ron(&text).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -416,7 +420,9 @@ mod tests {
         let a = sample().file_name();
         let b = sample().file_name();
         assert_eq!(a, b);
-        assert!(a.ends_with(".ron"));
+        assert!(std::path::Path::new(&a)
+            .extension()
+            .is_some_and(|x| x == "ron"));
         assert!(a.contains("deadlock"));
     }
 

@@ -1,0 +1,145 @@
+//! `ftdircmp-lint` — static protocol analyzer for the reified FtDirCMP
+//! transition tables.
+//!
+//! ```text
+//! ftdircmp-lint check [--spec PATH | --no-spec] [--max-states N] [--max-inflight N]
+//! ftdircmp-lint dump [L1|L2|Mem]
+//! ftdircmp-lint write-spec [--spec PATH]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftdircmp_core::transitions::{table, Controller};
+use ftdircmp_lint::{spec, CheckOptions, Severity};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ftdircmp-lint check [--spec PATH | --no-spec] [--max-states N] [--max-inflight N]\n  ftdircmp-lint dump [L1|L2|Mem]\n  ftdircmp-lint write-spec [--spec PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "check" => check(&args[1..]),
+        "dump" => dump(&args[1..]),
+        "write-spec" => write_spec(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_flag<'a>(args: &'a [String], i: &mut usize, name: &str) -> Option<Option<&'a str>> {
+    if args[*i] == name {
+        *i += 1;
+        if *i < args.len() {
+            let v = &args[*i];
+            *i += 1;
+            Some(Some(v))
+        } else {
+            Some(None)
+        }
+    } else {
+        None
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut opts = CheckOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--no-spec" {
+            opts.spec_path = None;
+            i += 1;
+        } else if let Some(v) = parse_flag(args, &mut i, "--spec") {
+            match v {
+                Some(p) => opts.spec_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            }
+        } else if let Some(v) = parse_flag(args, &mut i, "--max-states") {
+            match v.and_then(|s| s.parse().ok()) {
+                Some(n) => opts.max_states = n,
+                None => return usage(),
+            }
+        } else if let Some(v) = parse_flag(args, &mut i, "--max-inflight") {
+            match v.and_then(|s| s.parse().ok()) {
+                Some(n) => opts.max_inflight = n,
+                None => return usage(),
+            }
+        } else {
+            return usage();
+        }
+    }
+
+    let findings = ftdircmp_lint::run_check(&opts);
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    for f in &findings {
+        println!("{f}");
+    }
+    let rows: usize = Controller::ALL.iter().map(|&c| table(c).rows.len()).sum();
+    let states: usize = Controller::ALL.iter().map(|&c| table(c).states.len()).sum();
+    println!(
+        "checked {states} states / {rows} rows across 3 controllers: {errors} error(s), {} note(s)",
+        findings.len() - errors
+    );
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn dump(args: &[String]) -> ExitCode {
+    let which: Vec<Controller> = match args.first().map(|s| s.to_ascii_lowercase()).as_deref() {
+        None => Controller::ALL.to_vec(),
+        Some("l1") => vec![Controller::L1],
+        Some("l2") => vec![Controller::L2],
+        Some("mem") => vec![Controller::Mem],
+        Some(_) => return usage(),
+    };
+    for c in which {
+        let t = table(c);
+        println!("### {} controller\n", c.name());
+        for section in spec::Section::ALL {
+            println!("{}", spec::render_section(t, section));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_spec(args: &[String]) -> ExitCode {
+    let mut path = PathBuf::from("PROTOCOL.md");
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(Some(p)) = parse_flag(args, &mut i, "--spec") {
+            path = PathBuf::from(p);
+        } else {
+            return usage();
+        }
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let updated = spec::update_spec(&text);
+    if updated == text {
+        println!("{} already up to date", path.display());
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = std::fs::write(&path, &updated) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("updated {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,197 @@
+//! The static table lints: completeness (1), resource pairing (4) and
+//! FT gating (5).  Spec drift (2) lives in [`crate::spec`], reachability
+//! (3) in [`crate::model`].
+
+use std::collections::BTreeMap;
+
+use ftdircmp_core::transitions::{ControllerTable, Coverage, Gate, Resource, Transition};
+
+use crate::Finding;
+
+/// Lint 1 — completeness.  Every (state, event) pair in the controller's
+/// event universe must be covered by a row or an explicit exception, and
+/// exact-state exceptions must not contradict rows for the same pair.
+#[must_use]
+pub fn completeness(table: &ControllerTable) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for state in &table.states {
+        for event in table.event_universe() {
+            if table.coverage(state.name, event) == Coverage::Uncovered {
+                findings.push(Finding::error(
+                    "completeness",
+                    Some(table.controller),
+                    format!(
+                        "({}, {event}) is neither handled nor declared impossible/ignored",
+                        state.name
+                    ),
+                ));
+            }
+        }
+    }
+    for ex in &table.exceptions {
+        if ex.state != "*" && table.rows_for(ex.state, ex.event).next().is_some() {
+            findings.push(Finding::error(
+                "completeness",
+                Some(table.controller),
+                format!(
+                    "({}, {}) has both a transition row and an explicit exception",
+                    ex.state, ex.event
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Signed resource multiset.
+type Books = BTreeMap<Resource, i64>;
+
+fn add(books: &mut Books, rs: &[Resource], delta: i64) {
+    for &r in rs {
+        *books.entry(r).or_insert(0) += delta;
+    }
+}
+
+fn books_of(table: &ControllerTable, row: &Transition, ft: bool) -> Books {
+    let mut books = Books::new();
+    let src = table.state(row.src).expect("validated");
+    add(&mut books, &src.implied(ft), 1);
+    add(&mut books, &row.alloc, 1);
+    add(&mut books, &row.free, -1);
+    if ft {
+        add(&mut books, &row.ft_alloc, 1);
+        add(&mut books, &row.ft_free, -1);
+    }
+    for next in &row.next {
+        let n = table.state(next).expect("validated");
+        add(&mut books, &n.implied(ft), -1);
+    }
+    books.retain(|_, v| *v != 0);
+    books
+}
+
+fn describe(books: &Books) -> String {
+    books
+        .iter()
+        .map(|(r, v)| {
+            if *v > 0 {
+                format!("{} leaked x{v}", r.name())
+            } else {
+                format!("{} double-freed x{}", r.name(), -v)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Lint 4 — resource pairing.  For each row and each mode in which it is
+/// active, `implied(src) + alloc - free` must equal the sum of the
+/// resources implied by the next states: MSHRs/TBEs/backups are allocated
+/// and freed in pairs, and timers are armed exactly when a state that
+/// implies them is entered (and disarmed when it is left).  Also enforces
+/// the at-most-one-backup invariant (§3.1) structurally.
+#[must_use]
+pub fn resource_pairing(table: &ControllerTable) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for row in &table.rows {
+        for ft in [false, true] {
+            if !row.gate.active(ft) {
+                continue;
+            }
+            let books = books_of(table, row, ft);
+            if !books.is_empty() {
+                findings.push(Finding::error(
+                    "resource-pairing",
+                    Some(table.controller),
+                    format!(
+                        "row `{} @ {}`{} ({} mode): {}",
+                        row.src,
+                        row.event,
+                        if row.guard.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" [{}]", row.guard)
+                        },
+                        if ft { "ft" } else { "non-ft" },
+                        describe(&books)
+                    ),
+                ));
+            }
+        }
+    }
+    // At most one backup per line per node: only a single facet family may
+    // contain states that imply a backup resource, so no facet combination
+    // can ever hold two.
+    for resource in [Resource::Backup, Resource::MemBackup] {
+        let families: Vec<&str> = table
+            .states
+            .iter()
+            .filter(|s| s.implies.contains(&resource) || s.ft_implies.contains(&resource))
+            .map(|s| s.family)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if families.len() > 1 {
+            findings.push(Finding::error(
+                "resource-pairing",
+                Some(table.controller),
+                format!(
+                    "states implying {} span families {:?}: a line could hold two backups at once (§3.1)",
+                    resource.name(),
+                    families
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Lint 5 — FT gating (static half).  Rows active without fault tolerance
+/// must not produce FT-only states, rows that can never run are flagged,
+/// and `ft_alloc`/`ft_free` on a row that never runs with FT is
+/// contradictory.  The dynamic half — no FT-only state reachable in the
+/// non-FT abstract exploration — is checked by [`crate::model`].
+#[must_use]
+pub fn ft_gating(table: &ControllerTable) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for row in &table.rows {
+        let src_ft = table.state(row.src).expect("validated").ft_only;
+        if src_ft && row.gate == Gate::NonFtOnly {
+            findings.push(Finding::error(
+                "ft-gating",
+                Some(table.controller),
+                format!(
+                    "row `{} @ {}` is non-ft-gated but its source state only exists with FT",
+                    row.src, row.event
+                ),
+            ));
+        }
+        if row.gate == Gate::NonFtOnly && !(row.ft_alloc.is_empty() && row.ft_free.is_empty()) {
+            findings.push(Finding::error(
+                "ft-gating",
+                Some(table.controller),
+                format!(
+                    "row `{} @ {}` is non-ft-gated but declares ft resource deltas",
+                    row.src, row.event
+                ),
+            ));
+        }
+        // A row reachable without FT (gate both/non-ft, non-FT source) must
+        // not enter an FT-only state.
+        if row.gate != Gate::FtOnly && !src_ft {
+            for next in &row.next {
+                if table.state(next).expect("validated").ft_only {
+                    findings.push(Finding::error(
+                        "ft-gating",
+                        Some(table.controller),
+                        format!(
+                            "row `{} @ {}` can run without FT but enters FT-only state {next}",
+                            row.src, row.event
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}

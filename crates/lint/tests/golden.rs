@@ -1,0 +1,94 @@
+//! Golden tests: the compiled-in tables are clean under every lint, the
+//! §5 tables in PROTOCOL.md round-trip through render/parse, and the repo's
+//! actual PROTOCOL.md has no drift.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use ftdircmp_core::transitions::{table, Controller};
+use ftdircmp_lint::{lints, model, parse_event, spec};
+
+fn protocol_md() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../PROTOCOL.md");
+    std::fs::read_to_string(path).expect("PROTOCOL.md readable")
+}
+
+#[test]
+fn static_lints_clean_on_real_tables() {
+    for c in Controller::ALL {
+        let t = table(c);
+        let mut findings = lints::completeness(t);
+        findings.extend(lints::resource_pairing(t));
+        findings.extend(lints::ft_gating(t));
+        assert!(
+            findings.is_empty(),
+            "{}: {:?}",
+            c.name(),
+            findings.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn spec_sections_round_trip() {
+    // render -> extract -> parse must reproduce the cell matrix exactly.
+    for c in Controller::ALL {
+        let t = table(c);
+        for section in spec::Section::ALL {
+            let rendered = spec::render_section(t, section);
+            let body = spec::extract_section(&rendered, section, c)
+                .expect("rendered section has both markers");
+            let parsed = spec::parse_cells(&body);
+            let (_, expected) = spec::section_cells(t, section);
+            assert_eq!(parsed, expected, "{} {}", c.name(), section.tag());
+        }
+    }
+}
+
+#[test]
+fn protocol_md_has_no_drift() {
+    let findings = spec::drift(&protocol_md());
+    assert!(
+        findings.is_empty(),
+        "PROTOCOL.md drifted from the code tables: {:?}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn update_spec_is_idempotent() {
+    let text = protocol_md();
+    assert_eq!(spec::update_spec(&text), text);
+}
+
+#[test]
+fn event_display_round_trips() {
+    for c in Controller::ALL {
+        for ev in table(c).event_universe() {
+            assert_eq!(parse_event(&ev.to_string()), Some(ev), "{ev}");
+        }
+    }
+}
+
+#[test]
+fn model_reaches_the_deep_flows() {
+    // A small bounded exploration must already drive the victim-recall and
+    // memory-writeback machinery, produce no impossible-reached pairs, and
+    // leak no FT-only state into the non-FT run.
+    let ft = model::explore(true, 60_000, 7);
+    assert!(ft.bad_pairs.is_empty(), "{:?}", ft.bad_pairs);
+    let l2 = table(Controller::L2);
+    let fired_srcs: BTreeSet<&str> = ft
+        .fired
+        .iter()
+        .filter(|(c, _)| *c == Controller::L2)
+        .map(|&(_, i)| l2.rows[i].src)
+        .collect();
+    for src in ["WaitRecall", "WaitMemWbAck", "MB", "EXT"] {
+        assert!(fired_srcs.contains(src), "no L2 row fired from {src}");
+    }
+
+    let non_ft = model::explore(false, 30_000, 7);
+    assert!(non_ft.bad_pairs.is_empty(), "{:?}", non_ft.bad_pairs);
+    assert!(non_ft.ft_leaks.is_empty(), "{:?}", non_ft.ft_leaks);
+}

@@ -433,7 +433,7 @@ mod tests {
                 dropped += 1;
             }
         }
-        let rate = dropped as f64 / 20_000.0;
+        let rate = f64::from(dropped) / 20_000.0;
         assert!((0.08..0.12).contains(&rate), "rate={rate}");
     }
 

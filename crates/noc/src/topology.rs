@@ -171,16 +171,17 @@ impl Topology {
     }
 
     /// Neighbor of `r` in direction `d`, if it exists.
+    #[allow(clippy::many_single_char_names)] // x/y grid arithmetic
     pub fn neighbor(&self, r: RouterId, d: Direction) -> Option<RouterId> {
         let c = self.coord(r);
-        let (x, y) = (c.x() as i32, c.y() as i32);
+        let (x, y) = (i32::from(c.x()), i32::from(c.y()));
         let (nx, ny) = match d {
             Direction::East => (x + 1, y),
             Direction::West => (x - 1, y),
             Direction::South => (x, y + 1),
             Direction::North => (x, y - 1),
         };
-        if nx < 0 || ny < 0 || nx >= self.width as i32 || ny >= self.height as i32 {
+        if nx < 0 || ny < 0 || nx >= i32::from(self.width) || ny >= i32::from(self.height) {
             None
         } else {
             Some(self.router_at(Coord::new(nx as u16, ny as u16)))
@@ -190,7 +191,7 @@ impl Topology {
     /// Manhattan distance in hops between two routers.
     pub fn hops(&self, a: RouterId, b: RouterId) -> u32 {
         let (ca, cb) = (self.coord(a), self.coord(b));
-        (ca.x().abs_diff(cb.x()) + ca.y().abs_diff(cb.y())) as u32
+        u32::from(ca.x().abs_diff(cb.x()) + ca.y().abs_diff(cb.y()))
     }
 
     /// Dimension-ordered (XY) route as an allocation-free walker: the

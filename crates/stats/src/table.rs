@@ -85,7 +85,7 @@ fn render_row(out: &mut String, row: &[String], widths: &[usize]) {
         if i > 0 {
             out.push_str(" | ");
         }
-        let cell = row.get(i).map(String::as_str).unwrap_or("");
+        let cell = row.get(i).map_or("", String::as_str);
         out.push_str(cell);
         for _ in cell.len()..*width {
             out.push(' ');

@@ -102,7 +102,7 @@ impl WorkloadSpec {
                         &mut ops,
                     ),
                     SharingPattern::ReadShared => {
-                        patterns::read_shared(&regions, self.shared_lines, &mut rng, &mut ops)
+                        patterns::read_shared(&regions, self.shared_lines, &mut rng, &mut ops);
                     }
                     SharingPattern::ProducerConsumer => patterns::producer_consumer(
                         &regions,
@@ -112,10 +112,10 @@ impl WorkloadSpec {
                         &mut ops,
                     ),
                     SharingPattern::Migratory => {
-                        patterns::migratory(&regions, self.migratory_lines, &mut rng, &mut ops)
+                        patterns::migratory(&regions, self.migratory_lines, &mut rng, &mut ops);
                     }
                     SharingPattern::Lock => {
-                        patterns::lock(&regions, self.locks, &mut rng, &mut ops)
+                        patterns::lock(&regions, self.locks, &mut rng, &mut ops);
                     }
                     SharingPattern::Streaming => patterns::streaming(
                         &regions,
