@@ -73,6 +73,102 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// Delay distribution recorded from a fig3 release profile (4M scheduled
+/// events, log₂ histogram of `at - now`): ~55% link/router hops and cache
+/// latencies of 1–63 cycles, ~9% memory accesses around 160 cycles, and a
+/// heavy ~33% tail of detection-timeout arms at 1k–8k cycles.
+fn recorded_delays(n: usize) -> Vec<u64> {
+    let mut rng = DetRng::from_seed(0xBE9C);
+    (0..n)
+        .map(|_| match rng.below(100) {
+            0..=6 => 1,
+            7..=23 => rng.range(2, 4),
+            24..=31 => rng.range(4, 8),
+            32..=38 => rng.range(8, 16),
+            39..=50 => rng.range(16, 32),
+            51..=54 => rng.range(32, 64),
+            55..=56 => rng.range(64, 128),
+            57..=65 => 160, // memory controller
+            66..=74 => rng.range(1_024, 2_048),
+            75..=95 => rng.range(2_048, 4_096), // detection timeouts
+            _ => rng.range(4_096, 8_192),
+        })
+        .collect()
+}
+
+/// Payload the size of the simulator's `Event` enum (a `Deliver` carries a
+/// full `Message`): what the old heap actually sifted on every push/pop.
+type EventPayload = [u64; 6];
+
+/// The replaced `BinaryHeap` queue versus the calendar queue, driven by the
+/// same recorded churn script: the delay mix above at the in-flight
+/// population a 16-tile fig3 run sustains (roughly a thousand events —
+/// in-flight messages, pipelined cache accesses and armed detection
+/// timeouts). The heap reference reproduces the old implementation:
+/// `Reverse<(at, seq)>` entries, FIFO within a cycle.
+fn bench_queue_comparison(c: &mut Criterion) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    const POPS: u64 = 100_000;
+    const IN_FLIGHT: u64 = 1024;
+    let delays = recorded_delays(4096);
+    let mut g = c.benchmark_group("queue_comparison");
+
+    g.bench_function("binary_heap_recorded_churn_100k", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeap<Reverse<(u64, u64, EventPayload)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for i in 0..IN_FLIGHT {
+                q.push(Reverse((i % 8, seq, [i; 6])));
+                seq += 1;
+            }
+            let mut popped = 0u64;
+            let mut di = 0usize;
+            while popped < POPS {
+                let Reverse((now, _, ev)) = q.pop().expect("heap never drains");
+                popped += 1;
+                if popped + q.len() as u64 * 2 < POPS + IN_FLIGHT {
+                    for _ in 0..2 {
+                        let delay = delays[di % delays.len()];
+                        di += 1;
+                        q.push(Reverse((now + delay, seq, [ev[0].wrapping_mul(31); 6])));
+                        seq += 1;
+                    }
+                }
+                std::hint::black_box(ev);
+            }
+            std::hint::black_box(q.len())
+        });
+    });
+
+    g.bench_function("calendar_queue_recorded_churn_100k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<EventPayload> = EventQueue::new();
+            for i in 0..IN_FLIGHT {
+                q.schedule(Cycle::new(i % 8), [i; 6]);
+            }
+            let mut popped = 0u64;
+            let mut di = 0usize;
+            while popped < POPS {
+                let (now, ev) = q.pop().expect("queue never drains");
+                popped += 1;
+                if popped + q.len() as u64 * 2 < POPS + IN_FLIGHT {
+                    for _ in 0..2 {
+                        let delay = delays[di % delays.len()];
+                        di += 1;
+                        q.schedule(now + delay, [ev[0].wrapping_mul(31); 6]);
+                    }
+                }
+                std::hint::black_box(ev);
+            }
+            std::hint::black_box(q.len())
+        });
+    });
+
+    g.finish();
+}
+
 fn bench_routing(c: &mut Criterion) {
     let topo = Topology::new(8, 8);
     // The allocation-free walker used by Mesh::send.
@@ -121,6 +217,7 @@ criterion_group!(
     bench_protocols,
     bench_mesh,
     bench_event_queue,
+    bench_queue_comparison,
     bench_routing,
     bench_workload_generation
 );

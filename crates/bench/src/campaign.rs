@@ -17,6 +17,22 @@
 //! `FTDIRCMP_JOBS` environment variable, then
 //! [`std::thread::available_parallelism`].
 //!
+//! # Checkpoint-fork mode
+//!
+//! With [`Campaign::warmup_checkpoint`] set (CLI: `--warmup-checkpoint
+//! [PCT]`), cells that differ **only in their fault configuration** and run
+//! the same workload under the same seed share one fault-free warmup: the
+//! runner simulates the common prefix once, takes a
+//! [`ftdircmp_core::SystemSnapshot`], and forks every member of the group
+//! from the checkpoint with its own faults switched on at the fork point.
+//! Because neither the fault-free path nor a `drop_indices` schedule
+//! consumes random numbers, a forked run is byte-identical to a from-scratch
+//! run whose faults were gated until the same retirement point — and
+//! fault-free members stay byte-identical to the classic path. Absolute
+//! numbers for *faulty* cells change versus classic mode (faults only start
+//! after warmup; see DESIGN.md §8), so the mode is opt-in; with the flag off
+//! the runner is byte-identical to the pre-checkpoint implementation.
+//!
 //! # Example
 //!
 //! ```
@@ -29,7 +45,12 @@
 //!     Cell::new("base", spec.clone(), SystemConfig::dircmp(), 2),
 //!     Cell::new("ft", spec, SystemConfig::ftdircmp(), 2),
 //! ];
-//! let results = run_campaign(&cells, &Campaign { jobs: 2, progress: false });
+//! let opts = Campaign {
+//!     jobs: 2,
+//!     progress: false,
+//!     warmup_checkpoint: None,
+//! };
+//! let results = run_campaign(&cells, &opts);
 //! assert_eq!(results.len(), 2);
 //! assert_eq!(results[0].len(), 2); // one report per seed, in seed order
 //! ```
@@ -38,7 +59,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use ftdircmp_core::{RunError, SimReport, SystemConfig};
+use ftdircmp_core::{RunError, SimReport, System, SystemConfig};
+use ftdircmp_noc::FaultConfig;
 use ftdircmp_workloads::WorkloadSpec;
 
 use crate::{expect_coherent, run_seed_fallible};
@@ -82,15 +104,20 @@ pub struct Campaign {
     pub jobs: usize,
     /// Print per-unit progress and wall time to stderr.
     pub progress: bool,
+    /// Checkpoint-fork warmup threshold, as a percentage of each workload's
+    /// memory operations (see the module docs). `None` runs every cell from
+    /// scratch (the classic, pre-checkpoint behaviour).
+    pub warmup_checkpoint: Option<f64>,
 }
 
 impl Campaign {
     /// Options from argv/environment: worker count per [`crate::BenchArgs::jobs`],
-    /// progress on.
+    /// checkpoint mode per [`crate::BenchArgs::warmup_checkpoint`], progress on.
     pub fn from_args(args: &crate::BenchArgs) -> Self {
         Campaign {
             jobs: args.jobs(),
             progress: true,
+            warmup_checkpoint: args.warmup_checkpoint(),
         }
     }
 }
@@ -137,45 +164,114 @@ pub fn run_campaign_fallible(
     let completed = AtomicUsize::new(0);
     let started = Instant::now();
 
-    let run_unit = |i: usize| {
-        let (ci, seed) = units[i];
-        let cell = &cells[ci];
-        let t = Instant::now();
-        let result = run_seed_fallible(&cell.spec, &cell.config, seed);
-        if opts.progress {
-            let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
-            let status = match &result {
-                Ok(r) => format!("{} cycles", r.cycles),
-                Err(e) => match e {
-                    RunError::Deadlock { at, .. } => format!("deadlock at cycle {at}"),
-                    RunError::InvalidConfig(_) => "invalid config".to_string(),
-                },
-            };
-            eprintln!(
-                "[campaign {n}/{total}] {} seed {seed}: {status} in {:.2}s",
-                cell.label,
-                t.elapsed().as_secs_f64()
-            );
+    let note_progress = |i: usize, result: &Result<SimReport, RunError>, t: Instant| {
+        if !opts.progress {
+            return;
         }
+        let (ci, seed) = units[i];
+        let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        let status = match result {
+            Ok(r) => format!("{} cycles", r.cycles),
+            Err(e) => match e {
+                RunError::Deadlock { at, .. } => format!("deadlock at cycle {at}"),
+                RunError::InvalidConfig(_) => "invalid config".to_string(),
+            },
+        };
+        eprintln!(
+            "[campaign {n}/{total}] {} seed {seed}: {status} in {:.2}s",
+            cells[ci].label,
+            t.elapsed().as_secs_f64()
+        );
+    };
+    let finish_unit = |i: usize, result: Result<SimReport, RunError>, t: Instant| {
+        note_progress(i, &result, t);
         assert!(
             slots[i].set(result).is_ok(),
             "campaign unit {i} computed twice"
         );
     };
+    let run_unit_classic = |i: usize| {
+        let (ci, seed) = units[i];
+        let cell = &cells[ci];
+        let t = Instant::now();
+        finish_unit(i, run_seed_fallible(&cell.spec, &cell.config, seed), t);
+    };
+    let run_group = |group: &[usize]| {
+        // Singleton groups (and everything when checkpointing is off) take
+        // the classic from-scratch path: nothing to share.
+        let (Some(pct), [first, rest @ ..]) = (opts.warmup_checkpoint, group) else {
+            group.iter().copied().for_each(run_unit_classic);
+            return;
+        };
+        if rest.is_empty() {
+            run_unit_classic(*first);
+            return;
+        }
+        // Shared fault-free warmup: identical workload + seed across the
+        // group, faults stripped. Neither the fault-free injector path nor a
+        // deterministic drop schedule consumes RNG, so swapping each
+        // member's faults in at the fork point reproduces a from-scratch run
+        // with faults gated until the same retirement count.
+        let (ci0, seed) = units[*first];
+        let proto = &cells[ci0];
+        let wl = proto.spec.generate(proto.config.tiles, 1000 + seed);
+        let mut warm_cfg = proto.config.clone().with_seed(1000 + seed);
+        warm_cfg.mesh.faults = FaultConfig::none();
+        let target = (wl.total_mem_ops() as f64 * (pct.clamp(0.0, 100.0) / 100.0)).ceil() as u64;
+        let t_warm = Instant::now();
+        let warm = System::new(warm_cfg, &wl).and_then(|mut sys| {
+            sys.run_until_retired(target)?;
+            Ok(sys)
+        });
+        let Ok(sys) = warm else {
+            // The fault-free prefix itself failed (deadlock or invalid
+            // config): fall back to full runs so each member reports its
+            // own error through the unchanged classic path.
+            group.iter().copied().for_each(run_unit_classic);
+            return;
+        };
+        if opts.progress {
+            eprintln!(
+                "[campaign] warmup {} seed {seed}: {target} mem ops shared by {} cells in {:.2}s",
+                proto.label,
+                group.len(),
+                t_warm.elapsed().as_secs_f64()
+            );
+        }
+        let snap = sys.snapshot();
+        let mut warm = Some(sys);
+        for &i in group {
+            let (ci, _) = units[i];
+            let t = Instant::now();
+            let mut forked = warm.take().unwrap_or_else(|| System::restore(&snap));
+            forked.set_fault_config(cells[ci].config.mesh.faults.clone());
+            finish_unit(i, forked.run(), t);
+        }
+    };
 
-    let workers = opts.jobs.clamp(1, total.max(1));
+    // Work items are groups of units sharing a warmup; without
+    // `--warmup-checkpoint` every unit is its own (classic) group.
+    let groups: Vec<Vec<usize>> = if opts.warmup_checkpoint.is_some() {
+        group_units(cells, &units)
+    } else {
+        (0..total).map(|i| vec![i]).collect()
+    };
+
+    let workers = opts.jobs.clamp(1, groups.len().max(1));
     if workers <= 1 {
-        (0..total).for_each(run_unit);
+        for g in &groups {
+            run_group(g);
+        }
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    if g >= groups.len() {
                         break;
                     }
-                    run_unit(i);
+                    run_group(&groups[g]);
                 });
             }
         });
@@ -196,6 +292,36 @@ pub fn run_campaign_fallible(
         results[ci].push(slot.into_inner().expect("campaign unit completed"));
     }
     results
+}
+
+/// Partitions units into checkpoint-sharing groups, preserving unit order
+/// within and across groups.
+///
+/// Two units share a warmup iff they run the same seed, the same workload
+/// spec, and configurations that are equal once faults are stripped — the
+/// exact precondition for the fork-point fault swap to be sound.
+fn group_units(cells: &[Cell], units: &[(usize, u64)]) -> Vec<Vec<usize>> {
+    fn modulo_faults(config: &SystemConfig) -> SystemConfig {
+        let mut c = config.clone();
+        c.mesh.faults = FaultConfig::none();
+        c
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut keys: Vec<(u64, &WorkloadSpec, SystemConfig)> = Vec::new();
+    for (u, &(ci, seed)) in units.iter().enumerate() {
+        let cell = &cells[ci];
+        let stripped = modulo_faults(&cell.config);
+        if let Some(g) = keys
+            .iter()
+            .position(|(s, spec, cfg)| *s == seed && **spec == cell.spec && *cfg == stripped)
+        {
+            groups[g].push(u);
+        } else {
+            keys.push((seed, &cell.spec, stripped));
+            groups.push(vec![u]);
+        }
+    }
+    groups
 }
 
 /// Wall-time and throughput summary of a campaign, for `BENCH_*.json`

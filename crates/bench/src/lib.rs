@@ -187,6 +187,26 @@ impl BenchArgs {
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     }
+
+    /// Checkpoint-fork warmup threshold: `--warmup-checkpoint [PCT]` (flag
+    /// without a value defaults to 60% of each workload's memory
+    /// operations), then the `FTDIRCMP_WARMUP_CHECKPOINT` environment
+    /// variable, else `None` (classic full simulation per cell).
+    pub fn warmup_checkpoint(&self) -> Option<f64> {
+        const DEFAULT_PCT: f64 = 60.0;
+        if let Some(i) = self.args.iter().position(|a| a == "--warmup-checkpoint") {
+            let pct = self
+                .args
+                .get(i + 1)
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|p| (0.0..=100.0).contains(p));
+            return Some(pct.unwrap_or(DEFAULT_PCT));
+        }
+        std::env::var("FTDIRCMP_WARMUP_CHECKPOINT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|p| (0.0..=100.0).contains(p))
+    }
 }
 
 /// Optional `--csv FILE` destination from argv.

@@ -4,7 +4,8 @@
 
 use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
 use ftdircmp_bench::{run_seed_fallible, run_spec};
-use ftdircmp_core::{SimReport, SystemConfig};
+use ftdircmp_core::{SimReport, System, SystemConfig};
+use ftdircmp_noc::FaultConfig;
 use ftdircmp_workloads::WorkloadSpec;
 
 /// Every observable field of the report, as a comparable string. Stats and
@@ -90,6 +91,7 @@ fn parallel_campaign_matches_sequential() {
         &Campaign {
             jobs: 1,
             progress: false,
+            warmup_checkpoint: None,
         },
     );
     let jobs4 = run_campaign(
@@ -97,6 +99,7 @@ fn parallel_campaign_matches_sequential() {
         &Campaign {
             jobs: 4,
             progress: false,
+            warmup_checkpoint: None,
         },
     );
 
@@ -152,6 +155,7 @@ fn campaign_aggregates_match_sequential() {
         &Campaign {
             jobs: 4,
             progress: false,
+            warmup_checkpoint: None,
         },
     );
     for (si, name) in specs.iter().enumerate() {
@@ -166,5 +170,127 @@ fn campaign_aggregates_match_sequential() {
             seq_ratio.to_bits(),
             "{name}: parallel geomean differs from sequential"
         );
+    }
+}
+
+/// A run forked from a [`System::snapshot`] is byte-identical to pausing
+/// the same system in place — the core checkpoint-fork guarantee
+/// (DESIGN.md §8).
+#[test]
+fn forked_run_matches_gated_from_scratch() {
+    let spec = WorkloadSpec::named("water-sp").unwrap();
+    for schedule_seed in [0, 42] {
+        let faults = FaultConfig::per_million(1000.0);
+        let config = SystemConfig::ftdircmp()
+            .with_seed(1007)
+            .with_schedule_seed(schedule_seed);
+        let wl = spec.generate(config.tiles, 1007);
+        let target = (wl.total_mem_ops() / 2) as u64;
+        let warm = || {
+            let mut cfg = config.clone();
+            cfg.mesh.faults = FaultConfig::none();
+            let mut sys = System::new(cfg, &wl).unwrap();
+            sys.run_until_retired(target).unwrap();
+            sys
+        };
+
+        // Reference: warm up and keep running in the same System.
+        let mut inline = warm();
+        inline.set_fault_config(faults.clone());
+        let inline = inline.run().unwrap();
+
+        // Fork: snapshot at the same point, restore into a fresh System.
+        let snap = warm().snapshot();
+        let mut forked = System::restore(&snap);
+        forked.set_fault_config(faults);
+        let forked = forked.run().unwrap();
+
+        assert!(forked.messages_lost > 0, "faults never fired after fork");
+        assert_eq!(
+            fingerprint(&forked),
+            fingerprint(&inline),
+            "schedule_seed {schedule_seed}: forked run != uninterrupted run"
+        );
+    }
+}
+
+fn checkpoint_cells() -> Vec<Cell> {
+    let spec = WorkloadSpec::named("water-sp").unwrap();
+    let mut cells = vec![Cell::new(
+        "water-sp/dircmp",
+        spec.clone(),
+        SystemConfig::dircmp(),
+        2,
+    )];
+    for rate in [0.0, 500.0, 2000.0] {
+        cells.push(Cell::new(
+            format!("water-sp/ft-{rate:.0}"),
+            spec.clone(),
+            SystemConfig::ftdircmp().with_fault_rate(rate),
+            2,
+        ));
+    }
+    cells
+}
+
+/// Checkpoint-fork campaigns are schedule-independent: `--jobs 1` and
+/// `--jobs N` produce bit-equal reports for every cell.
+#[test]
+fn checkpoint_campaign_is_jobs_invariant() {
+    let cells = checkpoint_cells();
+    let opts = |jobs| Campaign {
+        jobs,
+        progress: false,
+        warmup_checkpoint: Some(60.0),
+    };
+    let jobs1 = run_campaign(&cells, &opts(1));
+    let jobs4 = run_campaign(&cells, &opts(4));
+    for (ci, cell) in cells.iter().enumerate() {
+        for seed in 0..cell.seeds as usize {
+            assert_eq!(
+                fingerprint(&jobs1[ci][seed]),
+                fingerprint(&jobs4[ci][seed]),
+                "{} seed {seed}: checkpoint campaign differs across --jobs",
+                cell.label
+            );
+        }
+    }
+}
+
+/// Fault-free cells are unaffected by checkpoint mode: forking from a
+/// fault-free warmup and continuing without faults replays the exact
+/// from-scratch trajectory, so DirCMP baselines and ft-0 cells stay
+/// byte-identical to the classic path.
+#[test]
+fn checkpoint_campaign_fault_free_cells_match_classic() {
+    let cells = checkpoint_cells();
+    let classic = run_campaign(
+        &cells,
+        &Campaign {
+            jobs: 1,
+            progress: false,
+            warmup_checkpoint: None,
+        },
+    );
+    let ckpt = run_campaign(
+        &cells,
+        &Campaign {
+            jobs: 1,
+            progress: false,
+            warmup_checkpoint: Some(60.0),
+        },
+    );
+    for (ci, cell) in cells.iter().enumerate() {
+        if cell.config.mesh.faults.is_faulty() {
+            continue;
+        }
+        for seed in 0..cell.seeds as usize {
+            assert_eq!(
+                fingerprint(&ckpt[ci][seed]),
+                fingerprint(&classic[ci][seed]),
+                "{} seed {seed}: fault-free cell changed under --warmup-checkpoint",
+                cell.label
+            );
+        }
     }
 }

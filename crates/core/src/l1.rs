@@ -11,8 +11,11 @@
 //!   (§3.1 steps 2–4), the lost-request and lost-backup-deletion-ack
 //!   timeouts (§3.2, §3.4), request serial numbers with reissue (§3.5), and
 //!   the recovery responses to `UnblockPing`/`WbPing`/`OwnershipPing`.
-
-use ftdircmp_sim::FxHashMap;
+//!
+//! Per-line transient state (miss/writeback MSHRs, backups, pending
+//! handshakes, deferred forwards) lives in a single [`LineTable`] slab: one
+//! lookup per message resolves every facet of a line, instead of one hash
+//! probe per facet (see `linetab` for the iteration-order contract).
 
 use ftdircmp_sim::{Cycle, DetRng};
 
@@ -21,8 +24,9 @@ use crate::checker::Perm;
 use crate::config::SystemConfig;
 use crate::data::LineData;
 use crate::ids::{LineAddr, NodeId};
+use crate::linetab::LineTable;
 use crate::msg::{Message, MsgType};
-use crate::proto::{backoff_delay, Ctx, TimeoutKind};
+use crate::proto::{backoff_delay, Ctx, Facets, TimeoutKind};
 use crate::serial::{SerialAllocator, SerialNum};
 
 /// Stable L1 permission states (MOESI; `I` is represented by absence).
@@ -160,22 +164,36 @@ struct AckBdPending {
     gen: u64,
 }
 
+/// All transient per-line state of one L1, held together in one slab slot.
+/// Every facet uses absence (`None`/empty) for "not in flight"; the slot
+/// itself persists once allocated.
+#[derive(Debug, Clone, Default)]
+struct L1LineState {
+    miss: Option<MissMshr>,
+    wb: Option<WbMshr>,
+    backup: Option<Backup>,
+    ackbd: Option<AckBdPending>,
+    deferred: Vec<Message>,
+    unblocked: Option<CompletedTx>,
+}
+
 /// The L1 cache controller for one tile.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct L1Controller {
     tile: u8,
     me: NodeId,
     ft: bool,
     cache: SetAssocCache<L1Entry>,
-    miss: FxHashMap<LineAddr, MissMshr>,
-    wb: FxHashMap<LineAddr, WbMshr>,
-    backups: FxHashMap<LineAddr, Backup>,
-    ackbd: FxHashMap<LineAddr, AckBdPending>,
-    deferred: FxHashMap<LineAddr, Vec<Message>>,
-    unblocked: FxHashMap<LineAddr, CompletedTx>,
+    lines: LineTable<L1LineState>,
+    /// Number of slots with a live miss MSHR (for occupancy stats).
+    miss_count: usize,
     stalled_ops: Vec<CpuOp>,
     serials: SerialAllocator,
     gen_counter: u64,
+    /// Reused buffer for draining deferred forwards without allocating.
+    deferred_scratch: Vec<Message>,
+    /// Reused buffer for replaying stalled CPU ops without allocating.
+    stalled_scratch: Vec<CpuOp>,
 }
 
 impl L1Controller {
@@ -186,15 +204,13 @@ impl L1Controller {
             me: NodeId::L1(tile),
             ft: config.protocol.is_fault_tolerant(),
             cache: SetAssocCache::new(config.l1_sets(), config.l1_assoc),
-            miss: FxHashMap::default(),
-            wb: FxHashMap::default(),
-            backups: FxHashMap::default(),
-            ackbd: FxHashMap::default(),
-            deferred: FxHashMap::default(),
-            unblocked: FxHashMap::default(),
+            lines: LineTable::new(),
+            miss_count: 0,
             stalled_ops: Vec::new(),
             serials: SerialAllocator::new(config.ft.serial_bits, rng),
             gen_counter: 0,
+            deferred_scratch: Vec::new(),
+            stalled_scratch: Vec::new(),
         }
     }
 
@@ -205,10 +221,14 @@ impl L1Controller {
 
     /// Whether a miss or writeback is in flight for any line.
     pub fn is_idle(&self) -> bool {
-        self.miss.is_empty()
-            && self.wb.is_empty()
-            && self.ackbd.is_empty()
-            && self.backups.is_empty()
+        debug_assert_eq!(
+            self.miss_count,
+            self.lines.iter().filter(|(_, s)| s.miss.is_some()).count(),
+            "miss_count out of sync with slab"
+        );
+        self.lines.iter().all(|(_, s)| {
+            s.miss.is_none() && s.wb.is_none() && s.ackbd.is_none() && s.backup.is_none()
+        })
     }
 
     /// Resident-line count (diagnostics).
@@ -224,34 +244,48 @@ impl L1Controller {
     /// Human-readable summary of in-flight state (deadlock diagnostics).
     pub fn pending_summary(&self) -> String {
         let mut out = String::new();
-        for (a, m) in &self.miss {
-            out.push_str(&format!(
-                "{} miss {a} kind={:?} serial={} responded={} acks={}/{} retries={}\n",
-                self.me, m.kind, m.serial, m.responded, m.acks_got, m.acks_needed, m.retries
-            ));
+        for (a, s) in self.lines.iter() {
+            if let Some(m) = &s.miss {
+                out.push_str(&format!(
+                    "{} miss {a} kind={:?} serial={} responded={} acks={}/{} retries={}\n",
+                    self.me, m.kind, m.serial, m.responded, m.acks_got, m.acks_needed, m.retries
+                ));
+            }
         }
-        for (a, w) in &self.wb {
-            out.push_str(&format!(
-                "{} wb {a} serial={} data={}\n",
-                self.me,
-                w.serial,
-                w.data.is_some()
-            ));
+        for (a, s) in self.lines.iter() {
+            if let Some(w) = &s.wb {
+                out.push_str(&format!(
+                    "{} wb {a} serial={} data={}\n",
+                    self.me,
+                    w.serial,
+                    w.data.is_some()
+                ));
+            }
         }
-        for (a, b) in &self.backups {
-            out.push_str(&format!(
-                "{} backup {a} dest={} serial={} kind={:?}\n",
-                self.me, b.dest, b.serial, b.kind
-            ));
+        for (a, s) in self.lines.iter() {
+            if let Some(b) = &s.backup {
+                out.push_str(&format!(
+                    "{} backup {a} dest={} serial={} kind={:?}\n",
+                    self.me, b.dest, b.serial, b.kind
+                ));
+            }
         }
-        for (a, p) in &self.ackbd {
-            out.push_str(&format!(
-                "{} ackbd-pending {a} peer={} serial={}\n",
-                self.me, p.peer, p.serial
-            ));
+        for (a, s) in self.lines.iter() {
+            if let Some(p) = &s.ackbd {
+                out.push_str(&format!(
+                    "{} ackbd-pending {a} peer={} serial={}\n",
+                    self.me, p.peer, p.serial
+                ));
+            }
         }
-        for (a, q) in &self.deferred {
-            out.push_str(&format!("{} deferred {a} n={}\n", self.me, q.len()));
+        for (a, s) in self.lines.iter() {
+            if !s.deferred.is_empty() {
+                out.push_str(&format!(
+                    "{} deferred {a} n={}\n",
+                    self.me,
+                    s.deferred.len()
+                ));
+            }
         }
         for op in &self.stalled_ops {
             out.push_str(&format!("{} stalled-op {:?}\n", self.me, op));
@@ -283,7 +317,7 @@ impl L1Controller {
     /// Presents a CPU memory operation.
     pub fn cpu_access(&mut self, op: CpuOp, ctx: &mut Ctx<'_>) -> CpuOutcome {
         debug_assert!(
-            !self.miss.contains_key(&op.addr),
+            self.lines.get(op.addr).is_none_or(|s| s.miss.is_none()),
             "core issued a second op to a line with a miss in flight"
         );
         if let Some(entry) = self.cache.get_mut(op.addr) {
@@ -316,7 +350,7 @@ impl L1Controller {
                 }
             }
         }
-        if self.wb.contains_key(&op.addr) {
+        if self.lines.get(op.addr).is_some_and(|s| s.wb.is_some()) {
             // A writeback of this very line is in flight; park the op.
             self.stalled_ops.push(op);
             return CpuOutcome::Stalled;
@@ -340,24 +374,22 @@ impl L1Controller {
         let gen = self.next_gen();
         ctx.stats
             .l1_mshr_occupancy
-            .record(self.miss.len() as u64 + 1);
-        self.miss.insert(
-            op.addr,
-            MissMshr {
-                kind,
-                serial,
-                data: None,
-                granted_ex: false,
-                granted_dirty: false,
-                responded: false,
-                acks_needed: 0,
-                acks_got: 0,
-                supplier: None,
-                issued_at: ctx.now,
-                retries: 0,
-                gen,
-            },
-        );
+            .record(self.miss_count as u64 + 1);
+        self.miss_count += 1;
+        self.lines.entry(op.addr).miss = Some(MissMshr {
+            kind,
+            serial,
+            data: None,
+            granted_ex: false,
+            granted_dirty: false,
+            responded: false,
+            acks_needed: 0,
+            acks_got: 0,
+            supplier: None,
+            issued_at: ctx.now,
+            retries: 0,
+            gen,
+        });
         let mtype = if op.is_store {
             MsgType::GetX
         } else {
@@ -380,7 +412,10 @@ impl L1Controller {
     }
 
     fn try_complete(&mut self, addr: LineAddr, ctx: &mut Ctx<'_>) {
-        let Some(m) = self.miss.get(&addr) else {
+        let Some(st) = self.lines.get_mut(addr) else {
+            return;
+        };
+        let Some(m) = st.miss.as_ref() else {
             return;
         };
         if !m.responded {
@@ -389,7 +424,8 @@ impl L1Controller {
         if m.granted_ex && m.acks_got < m.acks_needed {
             return;
         }
-        let m = self.miss.remove(&addr).expect("just checked");
+        let m = st.miss.take().expect("just checked");
+        self.miss_count -= 1;
         let supplier = m.supplier;
         let data_came = m.data.is_some();
 
@@ -466,15 +502,12 @@ impl L1Controller {
                 );
             }
             let gen = self.next_gen();
-            self.ackbd.insert(
-                addr,
-                AckBdPending {
-                    peer: supplier,
-                    serial: m.serial,
-                    retries: 0,
-                    gen,
-                },
-            );
+            self.lines.entry(addr).ackbd = Some(AckBdPending {
+                peer: supplier,
+                serial: m.serial,
+                retries: 0,
+                gen,
+            });
             ctx.arm_timeout(
                 self.me,
                 addr,
@@ -483,14 +516,11 @@ impl L1Controller {
                 ctx.config.ft.lost_ackbd_timeout,
             );
         }
-        self.unblocked.insert(
-            addr,
-            CompletedTx {
-                was_store: m.kind == MissKind::Store,
-                exclusive: m.granted_ex,
-                acko: unblock.piggy_acko,
-            },
-        );
+        self.lines.entry(addr).unblocked = Some(CompletedTx {
+            was_store: m.kind == MissKind::Store,
+            exclusive: m.granted_ex,
+            acko: unblock.piggy_acko,
+        });
         ctx.send(unblock, 1);
 
         ctx.stats.miss_latency.record(ctx.now - m.issued_at);
@@ -520,17 +550,14 @@ impl L1Controller {
     fn start_writeback(&mut self, vaddr: LineAddr, ventry: L1Entry, ctx: &mut Ctx<'_>) {
         let serial = self.fresh_serial();
         let gen = self.next_gen();
-        self.wb.insert(
-            vaddr,
-            WbMshr {
-                data: Some(ventry.data),
-                was_exclusive: ventry.perm.is_exclusive(),
-                dirty: matches!(ventry.perm, L1Perm::M | L1Perm::O),
-                serial,
-                retries: 0,
-                gen,
-            },
-        );
+        self.lines.entry(vaddr).wb = Some(WbMshr {
+            data: Some(ventry.data),
+            was_exclusive: ventry.perm.is_exclusive(),
+            dirty: matches!(ventry.perm, L1Perm::M | L1Perm::O),
+            serial,
+            retries: 0,
+            gen,
+        });
         ctx.checker.set_perm(self.me, vaddr, Perm::None, ctx.now);
         ctx.stats.l1_writebacks.incr();
         let home = self.home(vaddr, ctx.config);
@@ -550,16 +577,23 @@ impl L1Controller {
     }
 
     fn retry_stalled(&mut self, ctx: &mut Ctx<'_>) {
-        let ready: Vec<CpuOp> = {
-            let wb = &self.wb;
-            let (ready, parked): (Vec<CpuOp>, Vec<CpuOp>) = self
-                .stalled_ops
-                .drain(..)
-                .partition(|op| !wb.contains_key(&op.addr));
-            self.stalled_ops = parked;
-            ready
-        };
-        for op in ready {
+        // Same partition-once semantics as draining into fresh vectors, but
+        // the ready buffer is reused across calls and the parked ops are
+        // retained in place. Ops re-stalled by `cpu_access` below append
+        // after the still-parked ones, preserving the original order.
+        let mut ready = std::mem::take(&mut self.stalled_scratch);
+        debug_assert!(ready.is_empty());
+        let mut parked = std::mem::take(&mut self.stalled_ops);
+        let lines = &self.lines;
+        parked.retain(|op| {
+            let still = lines.get(op.addr).is_some_and(|s| s.wb.is_some());
+            if !still {
+                ready.push(*op);
+            }
+            still
+        });
+        self.stalled_ops = parked;
+        for op in ready.drain(..) {
             match self.cpu_access(op, ctx) {
                 CpuOutcome::Hit => {
                     ctx.complete(self.tile, op.addr, op.is_store, ctx.config.l1_hit_cycles);
@@ -568,6 +602,7 @@ impl L1Controller {
                 CpuOutcome::Stalled => {} // parked again (new wb appeared)
             }
         }
+        self.stalled_scratch = ready;
     }
 
     // ------------------------------------------------------------------
@@ -577,9 +612,10 @@ impl L1Controller {
     /// The line's current facet configuration, in the state vocabulary of
     /// the reified transition table ([`crate::transitions::l1_table`]).
     /// The first entry is always the mandatory `Cache` facet.
-    pub fn table_facets(&self, addr: LineAddr) -> Vec<&'static str> {
-        let mut f = Vec::with_capacity(4);
-        f.push(match self.cache.get(addr) {
+    pub fn table_facets(&self, addr: LineAddr) -> Facets {
+        let mut f = Facets::new();
+        let cached = self.cache.get(addr);
+        f.push(match cached {
             None => "I",
             Some(e) => match (e.perm, e.blocked) {
                 (L1Perm::S, _) => "S",
@@ -590,15 +626,16 @@ impl L1Controller {
                 (L1Perm::M, true) => "Mb",
             },
         });
-        if let Some(m) = self.miss.get(&addr) {
-            f.push(match (m.kind, self.cache.get(addr).map(|e| e.perm)) {
+        let st = self.lines.get(addr);
+        if let Some(m) = st.and_then(|s| s.miss.as_ref()) {
+            f.push(match (m.kind, cached.map(|e| e.perm)) {
                 (MissKind::Load, _) => "IS",
                 (MissKind::Store, Some(L1Perm::S)) => "SM",
                 (MissKind::Store, Some(L1Perm::O)) => "OM",
                 (MissKind::Store, _) => "IM",
             });
         }
-        if let Some(w) = self.wb.get(&addr) {
+        if let Some(w) = st.and_then(|s| s.wb.as_ref()) {
             f.push(match (w.data.is_some(), w.was_exclusive, w.dirty) {
                 (false, _, _) => "II",
                 (true, true, true) => "MI",
@@ -606,7 +643,7 @@ impl L1Controller {
                 (true, false, _) => "OI",
             });
         }
-        if let Some(b) = self.backups.get(&addr) {
+        if let Some(b) = st.and_then(|s| s.backup.as_ref()) {
             f.push(match b.kind {
                 BackupKind::ForwardedData { .. } => "B",
                 BackupKind::Writeback => "Bw",
@@ -665,12 +702,8 @@ impl L1Controller {
         }
     }
 
-    fn serial_matches(&self, expected: SerialNum, got: SerialNum) -> bool {
-        !self.ft || expected == got
-    }
-
     fn on_data(&mut self, msg: Message, exclusive: bool, ctx: &mut Ctx<'_>) {
-        let Some(m) = self.miss.get_mut(&msg.addr) else {
+        let Some(m) = self.lines.get_mut(msg.addr).and_then(|s| s.miss.as_mut()) else {
             // The transaction already finished: this is a duplicate from a
             // reissue whose original was merely slow, i.e. a false positive.
             ctx.stats.stale_discards.incr();
@@ -694,7 +727,7 @@ impl L1Controller {
     }
 
     fn on_ack(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        let Some(m) = self.miss.get_mut(&msg.addr) else {
+        let Some(m) = self.lines.get_mut(msg.addr).and_then(|s| s.miss.as_mut()) else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -737,7 +770,7 @@ impl L1Controller {
     fn on_fwd_gets(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         if let Some(entry) = self.cache.get_mut(msg.addr) {
             if entry.blocked {
-                self.deferred.entry(msg.addr).or_default().push(msg);
+                self.lines.entry(msg.addr).deferred.push(msg);
                 ctx.stats.deferred_forwards.incr();
                 return;
             }
@@ -755,7 +788,7 @@ impl L1Controller {
                 return;
             }
         }
-        if let Some(wbm) = self.wb.get(&msg.addr) {
+        if let Some(wbm) = self.lines.get(msg.addr).and_then(|s| s.wb.as_ref()) {
             if let Some(data) = wbm.data {
                 // Owner with a writeback in flight still supplies data.
                 ctx.send(
@@ -774,7 +807,7 @@ impl L1Controller {
     fn on_fwd_getx(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         if let Some(entry) = self.cache.get(msg.addr) {
             if entry.blocked {
-                self.deferred.entry(msg.addr).or_default().push(msg);
+                self.lines.entry(msg.addr).deferred.push(msg);
                 ctx.stats.deferred_forwards.incr();
                 return;
             }
@@ -792,7 +825,7 @@ impl L1Controller {
             ctx.stats.stale_discards.incr();
             return;
         }
-        if let Some(wbm) = self.wb.get_mut(&msg.addr) {
+        if let Some(wbm) = self.lines.get_mut(msg.addr).and_then(|s| s.wb.as_mut()) {
             let dirty = wbm.dirty;
             if let Some(data) = wbm.data.take() {
                 // Put raced with the forward; ownership goes to the
@@ -801,7 +834,7 @@ impl L1Controller {
                 return;
             }
         }
-        if let Some(b) = self.backups.get_mut(&msg.addr) {
+        if let Some(b) = self.lines.get_mut(msg.addr).and_then(|s| s.backup.as_mut()) {
             // Reissued forward: resend from the backup with the new serial
             // (§3.2: a node in backup state must detect reissued requests).
             b.serial = msg.serial;
@@ -846,20 +879,17 @@ impl L1Controller {
         );
         if self.ft {
             let gen = self.next_gen();
-            self.backups.insert(
-                addr,
-                Backup {
-                    data,
-                    dirty,
-                    dest: msg.requester,
-                    serial: msg.serial,
-                    kind: BackupKind::ForwardedData {
-                        acks: msg.ack_count,
-                    },
-                    retries: 0,
-                    gen,
+            self.lines.entry(addr).backup = Some(Backup {
+                data,
+                dirty,
+                dest: msg.requester,
+                serial: msg.serial,
+                kind: BackupKind::ForwardedData {
+                    acks: msg.ack_count,
                 },
-            );
+                retries: 0,
+                gen,
+            });
             ctx.checker.backup_created(self.me, addr, ctx.now);
             ctx.arm_timeout(
                 self.me,
@@ -872,15 +902,19 @@ impl L1Controller {
     }
 
     fn on_wback(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        let Some(wbm) = self.wb.get(&msg.addr) else {
+        let Some(st) = self.lines.get_mut(msg.addr) else {
             ctx.stats.stale_discards.incr();
             return;
         };
-        if !self.serial_matches(wbm.serial, msg.serial) {
+        let Some(wbm) = st.wb.as_ref() else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        if self.ft && wbm.serial != msg.serial {
             ctx.stats.stale_discards.incr();
             return;
         }
-        let wbm = self.wb.remove(&msg.addr).expect("just checked");
+        let wbm = st.wb.take().expect("just checked");
         if msg.wb_stale {
             // Ownership moved while the Put was queued. If the forward has
             // not reached us yet (possible on an unordered network), we
@@ -917,18 +951,15 @@ impl L1Controller {
                 );
                 if self.ft {
                     let gen = self.next_gen();
-                    self.backups.insert(
-                        msg.addr,
-                        Backup {
-                            data,
-                            dirty: wbm.dirty,
-                            dest: msg.src,
-                            serial: msg.serial,
-                            kind: BackupKind::Writeback,
-                            retries: 0,
-                            gen,
-                        },
-                    );
+                    self.lines.entry(msg.addr).backup = Some(Backup {
+                        data,
+                        dirty: wbm.dirty,
+                        dest: msg.src,
+                        serial: msg.serial,
+                        kind: BackupKind::Writeback,
+                        retries: 0,
+                        gen,
+                    });
                     ctx.checker.backup_created(self.me, msg.addr, ctx.now);
                     ctx.arm_timeout(
                         self.me,
@@ -951,7 +982,11 @@ impl L1Controller {
     }
 
     fn on_acko(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        if self.backups.remove(&msg.addr).is_some() {
+        let had_backup = self
+            .lines
+            .get_mut(msg.addr)
+            .is_some_and(|s| s.backup.take().is_some());
+        if had_backup {
             ctx.checker.backup_deleted(self.me, msg.addr, ctx.now);
         }
         // Respond even without a backup: a reissued AckO after the original
@@ -963,7 +998,11 @@ impl L1Controller {
     }
 
     fn on_ackbd(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        let Some(p) = self.ackbd.get(&msg.addr) else {
+        let Some(st) = self.lines.get_mut(msg.addr) else {
+            ctx.stats.stale_discards.incr();
+            return;
+        };
+        let Some(p) = st.ackbd.as_ref() else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -971,16 +1010,20 @@ impl L1Controller {
             ctx.stats.stale_discards.incr();
             return;
         }
-        self.ackbd.remove(&msg.addr);
+        st.ackbd = None;
+        // Drain forwards deferred while in the blocked-ownership state,
+        // in place: swap the queue into a reused scratch buffer instead of
+        // removing/reinserting a heap-allocated Vec per wakeup.
+        let mut drained = std::mem::take(&mut self.deferred_scratch);
+        debug_assert!(drained.is_empty());
+        std::mem::swap(&mut drained, &mut st.deferred);
         if let Some(entry) = self.cache.get_mut(msg.addr) {
             entry.blocked = false;
         }
-        // Drain forwards deferred while in the blocked-ownership state.
-        if let Some(queue) = self.deferred.remove(&msg.addr) {
-            for m in queue {
-                self.handle_message(m, ctx);
-            }
+        for m in drained.drain(..) {
+            self.handle_message(m, ctx);
         }
+        self.deferred_scratch = drained;
     }
 
     fn on_unblock_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
@@ -993,14 +1036,15 @@ impl L1Controller {
         //
         // 1. The open transaction is our current, unresolved miss: ignore
         //    (§3.3) — our own lost-request reissue is the recovery path.
-        if let Some(m) = self.miss.get(&msg.addr) {
+        let st = self.lines.get(msg.addr);
+        if let Some(m) = st.and_then(|s| s.miss.as_ref()) {
             if (m.kind == MissKind::Store) == msg.ping_for_store {
                 return;
             }
         }
         // 2. We completed a transaction of that kind and its unblock was
         //    lost: resend exactly what we sent then.
-        if let Some(c) = self.unblocked.get(&msg.addr) {
+        if let Some(c) = st.and_then(|s| s.unblocked.as_ref()) {
             if c.was_store == msg.ping_for_store {
                 let mtype = if c.exclusive {
                     MsgType::UnblockEx
@@ -1023,7 +1067,7 @@ impl L1Controller {
             } else {
                 MsgType::Unblock
             }
-        } else if let Some(wbm) = self.wb.get(&msg.addr) {
+        } else if let Some(wbm) = st.and_then(|s| s.wb.as_ref()) {
             if wbm.was_exclusive {
                 MsgType::UnblockEx
             } else {
@@ -1034,7 +1078,7 @@ impl L1Controller {
         };
         let mut reply = Message::new(reply_type, msg.addr, self.me, msg.src).serial(msg.serial);
         if reply_type == MsgType::UnblockEx {
-            if let Some(p) = self.ackbd.get(&msg.addr) {
+            if let Some(p) = st.and_then(|s| s.ackbd.as_ref()) {
                 if p.peer == msg.src {
                     reply = reply.with_acko();
                 }
@@ -1044,7 +1088,7 @@ impl L1Controller {
     }
 
     fn on_wb_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        if let Some(wbm) = self.wb.get(&msg.addr) {
+        if let Some(wbm) = self.lines.get(msg.addr).and_then(|s| s.wb.as_ref()) {
             // Our WbAck was lost: the ping substitutes for it (it carries
             // the same serial the L2's transaction expects).
             let serial = wbm.serial;
@@ -1054,7 +1098,7 @@ impl L1Controller {
             self.on_wback(as_wback, ctx);
             return;
         }
-        if let Some(b) = self.backups.get_mut(&msg.addr) {
+        if let Some(b) = self.lines.get_mut(msg.addr).and_then(|s| s.backup.as_mut()) {
             if b.kind == BackupKind::Writeback && b.dest == msg.src {
                 b.serial = msg.serial;
                 let (data, dirty) = (b.data, b.dirty);
@@ -1075,10 +1119,10 @@ impl L1Controller {
     }
 
     fn on_ownership_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
+        let st = self.lines.get(msg.addr);
         let have_ownership = self.cache.contains(msg.addr)
-            || self.wb.contains_key(&msg.addr)
-            || self.backups.contains_key(&msg.addr);
-        let pending_miss = self.miss.contains_key(&msg.addr);
+            || st.is_some_and(|s| s.wb.is_some() || s.backup.is_some());
+        let pending_miss = st.is_some_and(|s| s.miss.is_some());
         let reply = if have_ownership && !pending_miss {
             MsgType::AckO
         } else {
@@ -1091,7 +1135,7 @@ impl L1Controller {
     }
 
     fn on_nacko(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        let Some(b) = self.backups.get(&msg.addr) else {
+        let Some(b) = self.lines.get(msg.addr).and_then(|s| s.backup.as_ref()) else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -1161,7 +1205,10 @@ impl L1Controller {
         // stream wraps — a chain of `.next()` bumps could alias the serial
         // the allocator hands to the node's next request.
         let fresh = self.serials.fresh();
-        if let Some(m) = self.miss.get_mut(&addr) {
+        let Some(st) = self.lines.get_mut(addr) else {
+            return;
+        };
+        if let Some(m) = st.miss.as_mut() {
             if m.gen != gen {
                 return;
             }
@@ -1196,7 +1243,7 @@ impl L1Controller {
             );
             return;
         }
-        if let Some(w) = self.wb.get_mut(&addr) {
+        if let Some(w) = st.wb.as_mut() {
             if w.gen != gen {
                 return;
             }
@@ -1209,7 +1256,7 @@ impl L1Controller {
             let new_gen = w.gen;
             let serial = w.serial;
             let retries = w.retries;
-            let home = self.home(addr, ctx.config);
+            let home = NodeId::L2(addr.home_bank(ctx.config.tiles));
             ctx.send(
                 Message::new(MsgType::Put, addr, self.me, home).serial(serial),
                 1,
@@ -1226,7 +1273,7 @@ impl L1Controller {
 
     fn on_lost_ackbd(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
         let fresh = self.serials.fresh();
-        let Some(p) = self.ackbd.get_mut(&addr) else {
+        let Some(p) = self.lines.get_mut(addr).and_then(|s| s.ackbd.as_mut()) else {
             return;
         };
         if p.gen != gen {
@@ -1252,7 +1299,7 @@ impl L1Controller {
     }
 
     fn on_lost_data(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
-        let Some(b) = self.backups.get_mut(&addr) else {
+        let Some(b) = self.lines.get_mut(addr).and_then(|s| s.backup.as_mut()) else {
             return;
         };
         if b.gen != gen {

@@ -13,7 +13,6 @@
 //! handshake pending) — so L2 misses see no added latency, yet at most one
 //! backup exists outside the chip.
 
-use ftdircmp_sim::FxHashMap;
 use std::collections::VecDeque;
 
 use ftdircmp_sim::DetRng;
@@ -22,8 +21,9 @@ use crate::cache::SetAssocCache;
 use crate::config::SystemConfig;
 use crate::data::LineData;
 use crate::ids::{LineAddr, NodeId, SharerSet};
+use crate::linetab::LineTable;
 use crate::msg::{Message, MsgType};
-use crate::proto::{backoff_delay, Ctx, TimeoutKind};
+use crate::proto::{backoff_delay, Ctx, Facets, TimeoutKind};
 use crate::serial::{SerialAllocator, SerialNum};
 
 /// Directory + data state of one line resident in this bank.
@@ -192,17 +192,28 @@ struct MemBackup {
     gen: u64,
 }
 
+/// Every in-flight facet of one line at this bank, held together in one
+/// [`LineTable`] slot so a message handler resolves all of them with a
+/// single lookup. The deferred-request queue keeps its buffer across
+/// drain/refill cycles instead of being dropped when it empties.
+#[derive(Debug, Clone, Default)]
+struct L2LineState {
+    tbe: Option<Tbe>,
+    waiting: VecDeque<Message>,
+    ext_pending: Option<ExtPending>,
+    mem_backup: Option<MemBackup>,
+}
+
 /// The L2 bank controller for one tile.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct L2Controller {
     tile: u8,
     me: NodeId,
     ft: bool,
     cache: SetAssocCache<L2Line>,
-    tbes: FxHashMap<LineAddr, Tbe>,
-    waiting: FxHashMap<LineAddr, VecDeque<Message>>,
-    ext_pending: FxHashMap<LineAddr, ExtPending>,
-    mem_backups: FxHashMap<LineAddr, MemBackup>,
+    lines: LineTable<L2LineState>,
+    /// Number of slots currently holding a TBE (occupancy statistics).
+    tbe_count: usize,
     serials: SerialAllocator,
     gen_counter: u64,
 }
@@ -215,10 +226,8 @@ impl L2Controller {
             me: NodeId::L2(tile),
             ft: config.protocol.is_fault_tolerant(),
             cache: SetAssocCache::new(config.l2_sets(), config.l2_assoc),
-            tbes: FxHashMap::default(),
-            waiting: FxHashMap::default(),
-            ext_pending: FxHashMap::default(),
-            mem_backups: FxHashMap::default(),
+            lines: LineTable::new(),
+            tbe_count: 0,
             serials: SerialAllocator::new(config.ft.serial_bits, rng),
             gen_counter: 0,
         }
@@ -236,10 +245,16 @@ impl L2Controller {
 
     /// Whether no transactions or handshakes are in flight.
     pub fn is_idle(&self) -> bool {
-        self.tbes.is_empty()
-            && self.ext_pending.is_empty()
-            && self.mem_backups.is_empty()
-            && self.waiting.values().all(VecDeque::is_empty)
+        debug_assert_eq!(
+            self.tbe_count,
+            self.lines.iter().filter(|(_, st)| st.tbe.is_some()).count()
+        );
+        self.lines.iter().all(|(_, st)| {
+            st.tbe.is_none()
+                && st.ext_pending.is_none()
+                && st.mem_backup.is_none()
+                && st.waiting.is_empty()
+        })
     }
 
     /// Peak overflow-buffer occupancy (diagnostics).
@@ -250,27 +265,36 @@ impl L2Controller {
     /// Human-readable summary of in-flight state (deadlock diagnostics).
     pub fn pending_summary(&self) -> String {
         let mut out = String::new();
-        for (a, t) in &self.tbes {
-            out.push_str(&format!(
-                "{} tbe {a} kind={:?} stage={:?} blocker={} serial={} own={} recall_acks={} needs_data={}\n",
-                self.me, t.kind, t.stage, t.blocker, t.serial, t.own_serial, t.recall_acks, t.recall_needs_data
-            ));
+        for (a, st) in self.lines.iter() {
+            if let Some(t) = &st.tbe {
+                out.push_str(&format!(
+                    "{} tbe {a} kind={:?} stage={:?} blocker={} serial={} own={} recall_acks={} needs_data={}\n",
+                    self.me, t.kind, t.stage, t.blocker, t.serial, t.own_serial, t.recall_acks, t.recall_needs_data
+                ));
+            }
         }
-        for (a, q) in &self.waiting {
-            if !q.is_empty() {
-                let kinds: Vec<String> =
-                    q.iter().map(|m| format!("{}:{}", m.src, m.mtype)).collect();
+        for (a, st) in self.lines.iter() {
+            if !st.waiting.is_empty() {
+                let kinds: Vec<String> = st
+                    .waiting
+                    .iter()
+                    .map(|m| format!("{}:{}", m.src, m.mtype))
+                    .collect();
                 out.push_str(&format!("{} waiting {a} [{}]\n", self.me, kinds.join(", ")));
             }
         }
-        for (a, e) in &self.ext_pending {
-            out.push_str(&format!(
-                "{} ext-pending {a} serial={}\n",
-                self.me, e.serial
-            ));
+        for (a, st) in self.lines.iter() {
+            if let Some(e) = &st.ext_pending {
+                out.push_str(&format!(
+                    "{} ext-pending {a} serial={}\n",
+                    self.me, e.serial
+                ));
+            }
         }
-        for (a, b) in &self.mem_backups {
-            out.push_str(&format!("{} mem-backup {a} serial={}\n", self.me, b.serial));
+        for (a, st) in self.lines.iter() {
+            if let Some(b) = &st.mem_backup {
+                out.push_str(&format!("{} mem-backup {a} serial={}\n", self.me, b.serial));
+            }
         }
         out
     }
@@ -292,6 +316,23 @@ impl L2Controller {
         }
     }
 
+    /// Stores `tbe` in the line's slot; the line must not already have one.
+    fn set_tbe(&mut self, addr: LineAddr, tbe: Tbe) {
+        let slot = &mut self.lines.entry(addr).tbe;
+        debug_assert!(slot.is_none(), "tbe already present");
+        *slot = Some(tbe);
+        self.tbe_count += 1;
+    }
+
+    /// Removes and returns the line's TBE, if any.
+    fn take_tbe(&mut self, addr: LineAddr) -> Option<Tbe> {
+        let t = self.lines.get_mut(addr).and_then(|s| s.tbe.take());
+        if t.is_some() {
+            self.tbe_count -= 1;
+        }
+        t
+    }
+
     // ------------------------------------------------------------------
     // Entry points
     // ------------------------------------------------------------------
@@ -299,29 +340,31 @@ impl L2Controller {
     /// The line's current facet configuration, in the state vocabulary of
     /// the reified transition table ([`crate::transitions::l2_table`]).
     /// The first entry is always the mandatory `Line` facet.
-    pub fn table_facets(&self, addr: LineAddr) -> Vec<&'static str> {
-        let mut f = Vec::with_capacity(4);
+    pub fn table_facets(&self, addr: LineAddr) -> Facets {
+        let mut f = Facets::new();
         f.push(match self.cache.get(addr) {
             None => "NP",
             Some(line) if line.owner.is_some() => "MT",
             Some(_) => "RO",
         });
-        if let Some(tbe) = self.tbes.get(&addr) {
-            f.push(match tbe.stage {
-                Stage::WaitMem => "WaitMem",
-                Stage::WaitUnblock => "WaitUnblock",
-                Stage::WaitWbData => "WaitWbData",
-                Stage::WaitWbAckBd => "WaitWbAckBd",
-                Stage::WaitRecall => "WaitRecall",
-                Stage::WaitRecallAckBd => "WaitRecallAckBd",
-                Stage::WaitMemWbAck => "WaitMemWbAck",
-            });
-        }
-        if self.ext_pending.contains_key(&addr) {
-            f.push("EXT");
-        }
-        if self.mem_backups.contains_key(&addr) {
-            f.push("MB");
+        if let Some(st) = self.lines.get(addr) {
+            if let Some(tbe) = &st.tbe {
+                f.push(match tbe.stage {
+                    Stage::WaitMem => "WaitMem",
+                    Stage::WaitUnblock => "WaitUnblock",
+                    Stage::WaitWbData => "WaitWbData",
+                    Stage::WaitWbAckBd => "WaitWbAckBd",
+                    Stage::WaitRecall => "WaitRecall",
+                    Stage::WaitRecallAckBd => "WaitRecallAckBd",
+                    Stage::WaitMemWbAck => "WaitMemWbAck",
+                });
+            }
+            if st.ext_pending.is_some() {
+                f.push("EXT");
+            }
+            if st.mem_backup.is_some() {
+                f.push("MB");
+            }
         }
         f
     }
@@ -389,56 +432,57 @@ impl L2Controller {
     // ------------------------------------------------------------------
 
     fn on_request(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        if let Some(tbe) = self.tbes.get(&msg.addr) {
-            // A message is a *reissue* of the in-service transaction only if
-            // it comes from the blocker AND is the same kind of request
-            // (§3.2: "same requestor and address ... but a different request
-            // serial number"). A different kind from the same node is a new
-            // transaction (e.g. a GetX issued right after a GetS whose
-            // unblock is still in flight) and must be deferred like any
-            // other.
-            let same_kind = match tbe.kind {
-                TbeKind::Miss { store } => {
-                    msg.mtype == if store { MsgType::GetX } else { MsgType::GetS }
+        if let Some(st) = self.lines.get_mut(msg.addr) {
+            if let Some(tbe) = &st.tbe {
+                // A message is a *reissue* of the in-service transaction only if
+                // it comes from the blocker AND is the same kind of request
+                // (§3.2: "same requestor and address ... but a different request
+                // serial number"). A different kind from the same node is a new
+                // transaction (e.g. a GetX issued right after a GetS whose
+                // unblock is still in flight) and must be deferred like any
+                // other.
+                let same_kind = match tbe.kind {
+                    TbeKind::Miss { store } => {
+                        msg.mtype == if store { MsgType::GetX } else { MsgType::GetS }
+                    }
+                    TbeKind::Wb => msg.mtype == MsgType::Put,
+                    TbeKind::Recall | TbeKind::L2Evict => false,
+                };
+                if tbe.blocker == msg.src && same_kind {
+                    if self.ft && tbe.serial != msg.serial {
+                        // A reissued request from the current blocker (§3.2):
+                        // adopt the new serial and repeat the service action.
+                        self.on_reissue(msg, ctx);
+                    } // else: duplicate of the in-service request; ignore.
+                    return;
                 }
-                TbeKind::Wb => msg.mtype == MsgType::Put,
-                TbeKind::Recall | TbeKind::L2Evict => false,
-            };
-            if tbe.blocker == msg.src && same_kind {
-                if self.ft && tbe.serial != msg.serial {
-                    // A reissued request from the current blocker (§3.2):
-                    // adopt the new serial and repeat the service action.
-                    self.on_reissue(msg, ctx);
-                } // else: duplicate of the in-service request; ignore.
+                // Busy with another requester: defer (per-line busy states, §2).
+                if let Some(existing) = st
+                    .waiting
+                    .iter_mut()
+                    .find(|m| m.src == msg.src && m.mtype == msg.mtype)
+                {
+                    // Reissue of a queued request: refresh its serial.
+                    existing.serial = msg.serial;
+                } else {
+                    st.waiting.push_back(msg);
+                    ctx.stats.deferred_requests.incr();
+                }
                 return;
             }
-            // Busy with another requester: defer (per-line busy states, §2).
-            let q = self.waiting.entry(msg.addr).or_default();
-            if let Some(existing) = q
-                .iter_mut()
-                .find(|m| m.src == msg.src && m.mtype == msg.mtype)
-            {
-                // Reissue of a queued request: refresh its serial.
-                existing.serial = msg.serial;
-            } else {
-                q.push_back(msg);
-                ctx.stats.deferred_requests.incr();
-            }
-            return;
         }
         self.service_request(msg, ctx);
     }
 
     fn on_reissue(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         ctx.stats.false_positives.incr();
-        let Some(tbe) = self.tbes.get_mut(&msg.addr) else {
+        let Some(tbe) = self.lines.get_mut(msg.addr).and_then(|s| s.tbe.as_mut()) else {
             return;
         };
         tbe.serial = msg.serial;
         let serial = msg.serial;
         let addr = msg.addr;
         let requester = msg.src;
-        let tbe = self.tbes.get(&addr).expect("just updated").clone();
         match tbe.stage {
             Stage::WaitMem => {
                 // The response will be generated when memory answers; it
@@ -469,7 +513,7 @@ impl L2Controller {
                         ctx.config.l2_tag_cycles,
                     );
                 } else if let Some(resp) = &tbe.resp {
-                    self.send_resp(addr, requester, serial, resp.clone(), ctx);
+                    Self::send_resp(self.me, addr, requester, serial, resp, ctx);
                 }
             }
             Stage::WaitWbData => {
@@ -483,30 +527,30 @@ impl L2Controller {
     }
 
     fn send_resp(
-        &self,
+        me: NodeId,
         addr: LineAddr,
         requester: NodeId,
         serial: SerialNum,
-        resp: Resp,
+        resp: &Resp,
         ctx: &mut Ctx<'_>,
     ) {
         match resp {
             Resp::Data { data } => {
                 ctx.send(
-                    Message::new(MsgType::Data, addr, self.me, requester)
+                    Message::new(MsgType::Data, addr, me, requester)
                         .requester(requester)
                         .serial(serial)
-                        .data(data),
+                        .data(*data),
                     ctx.config.l2_hit_cycles,
                 );
             }
             Resp::DataEx { data, dirty, acks } => {
-                let mut m = Message::new(MsgType::DataEx, addr, self.me, requester)
+                let mut m = Message::new(MsgType::DataEx, addr, me, requester)
                     .requester(requester)
                     .serial(serial)
-                    .acks(acks);
+                    .acks(*acks);
                 if let Some(d) = data {
-                    m = m.data(d).dirty(dirty);
+                    m = m.data(*d).dirty(*dirty);
                 }
                 ctx.send(m, ctx.config.l2_hit_cycles);
             }
@@ -518,9 +562,7 @@ impl L2Controller {
     // ------------------------------------------------------------------
 
     fn service_request(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
-        ctx.stats
-            .l2_tbe_occupancy
-            .record(self.tbes.len() as u64 + 1);
+        ctx.stats.l2_tbe_occupancy.record(self.tbe_count as u64 + 1);
         match msg.mtype {
             MsgType::GetS | MsgType::GetX => self.service_get(msg, ctx),
             MsgType::Put => self.service_put(msg, ctx),
@@ -559,7 +601,7 @@ impl L2Controller {
                     ctx.config.ft.lost_request_timeout,
                 );
             }
-            self.tbes.insert(addr, tbe);
+            self.set_tbe(addr, tbe);
             let mem = self.mem_of(addr, ctx.config);
             ctx.send(
                 Message::new(MsgType::GetX, addr, self.me, mem).serial(own_serial),
@@ -612,7 +654,7 @@ impl L2Controller {
                     dirty: false,
                     acks: invs.len() as u8,
                 };
-                self.send_resp(addr, msg.src, msg.serial, resp.clone(), ctx);
+                Self::send_resp(self.me, addr, msg.src, msg.serial, &resp, ctx);
                 self.send_invs(addr, &invs, msg.src, msg.serial, ctx);
                 tbe.resp = Some(resp);
                 tbe.inv_targets = invs;
@@ -662,21 +704,21 @@ impl L2Controller {
                     dirty,
                     acks: invs.len() as u8,
                 };
-                self.send_resp(addr, msg.src, msg.serial, resp.clone(), ctx);
+                Self::send_resp(self.me, addr, msg.src, msg.serial, &resp, ctx);
                 self.send_invs(addr, &invs, msg.src, msg.serial, ctx);
                 tbe.resp = Some(resp);
                 tbe.inv_targets = invs;
                 tbe.sent_data_backup = true;
             } else {
                 let resp = Resp::Data { data };
-                self.send_resp(addr, msg.src, msg.serial, resp.clone(), ctx);
+                Self::send_resp(self.me, addr, msg.src, msg.serial, &resp, ctx);
                 tbe.resp = Some(resp);
             }
         }
 
         tbe.stage = Stage::WaitUnblock;
         self.arm_unblock(&mut tbe, addr, ctx);
-        self.tbes.insert(addr, tbe);
+        self.set_tbe(addr, tbe);
     }
 
     fn send_invs(
@@ -729,7 +771,7 @@ impl L2Controller {
         let mut tbe = Tbe::new(TbeKind::Wb, msg.src, msg.serial);
         tbe.stage = Stage::WaitWbData;
         self.arm_unblock(&mut tbe, addr, ctx);
-        self.tbes.insert(addr, tbe);
+        self.set_tbe(addr, tbe);
         let mut wback = Message::new(MsgType::WbAck, addr, self.me, msg.src).serial(msg.serial);
         wback.wb_wants_data = true;
         ctx.send(wback, ctx.config.l2_tag_cycles);
@@ -741,7 +783,8 @@ impl L2Controller {
 
     fn on_unblock(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         let addr = msg.addr;
-        let stale = match self.tbes.get(&addr) {
+        let tbe_ref = self.lines.get(addr).and_then(|s| s.tbe.as_ref());
+        let stale = match tbe_ref {
             None => true,
             Some(tbe) => {
                 tbe.stage != Stage::WaitUnblock
@@ -749,10 +792,8 @@ impl L2Controller {
                     || (self.ft && tbe.serial != msg.serial)
             }
         };
-        let wrong_kind = matches!(
-            self.tbes.get(&addr).map(|t| t.kind),
-            Some(TbeKind::Miss { store: true })
-        ) && msg.mtype == MsgType::Unblock;
+        let wrong_kind = matches!(tbe_ref.map(|t| t.kind), Some(TbeKind::Miss { store: true }))
+            && msg.mtype == MsgType::Unblock;
         if stale || wrong_kind {
             // A duplicate/stale unblock; still answer a piggybacked AckO so
             // the sender's blocked-ownership state can always drain (§3.4
@@ -768,7 +809,7 @@ impl L2Controller {
             ctx.stats.stale_discards.incr();
             return;
         }
-        let tbe = self.tbes.remove(&addr).expect("checked above");
+        let tbe = self.take_tbe(addr).expect("checked above");
         let requester_tile = msg.src.index();
 
         // Update the directory.
@@ -804,14 +845,11 @@ impl L2Controller {
             let mem = self.mem_of(addr, ctx.config);
             if self.ft {
                 let gen = self.next_gen();
-                self.ext_pending.insert(
-                    addr,
-                    ExtPending {
-                        serial: tbe.own_serial,
-                        retries: 0,
-                        gen,
-                    },
-                );
+                self.lines.entry(addr).ext_pending = Some(ExtPending {
+                    serial: tbe.own_serial,
+                    retries: 0,
+                    gen,
+                });
                 if let Some(line) = self.cache.get_mut(addr) {
                     line.ext_blocked = true;
                 }
@@ -838,7 +876,7 @@ impl L2Controller {
 
     fn on_wb_data(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         let addr = msg.addr;
-        let Some(tbe) = self.tbes.get(&addr) else {
+        let Some(tbe) = self.lines.get(addr).and_then(|s| s.tbe.as_ref()) else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -850,7 +888,7 @@ impl L2Controller {
             ctx.stats.stale_discards.incr();
             return;
         }
-        let mut tbe = self.tbes.remove(&addr).expect("checked above");
+        let mut tbe = self.take_tbe(addr).expect("checked above");
 
         match msg.mtype {
             MsgType::WbData => {
@@ -882,7 +920,7 @@ impl L2Controller {
                         gen,
                         ctx.config.ft.lost_ackbd_timeout,
                     );
-                    self.tbes.insert(addr, tbe);
+                    self.set_tbe(addr, tbe);
                     return;
                 }
             }
@@ -910,7 +948,7 @@ impl L2Controller {
                     &format!("{other} reached writeback-data handling"),
                     ctx.now,
                 );
-                self.tbes.insert(addr, tbe);
+                self.set_tbe(addr, tbe);
                 return;
             }
         }
@@ -924,7 +962,7 @@ impl L2Controller {
     fn on_data(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         // DataEx from memory (fill) or from an L1 owner (recall).
         let addr = msg.addr;
-        let Some(tbe) = self.tbes.get_mut(&addr) else {
+        let Some(tbe) = self.lines.get_mut(addr).and_then(|s| s.tbe.as_mut()) else {
             ctx.stats.stale_discards.incr();
             ctx.stats.false_positives.incr();
             return;
@@ -951,7 +989,7 @@ impl L2Controller {
                 // Install the line (may evict a victim).
                 self.install_line(addr, data, ctx);
                 // §3.1.1: answer the L1 immediately, keeping a backup.
-                self.send_resp(addr, blocker, serial, resp, ctx);
+                Self::send_resp(self.me, addr, blocker, serial, &resp, ctx);
                 if self.ft {
                     ctx.checker.backup_created(self.me, addr, ctx.now);
                 } else {
@@ -962,9 +1000,22 @@ impl L2Controller {
                         ctx.config.l2_tag_cycles,
                     );
                 }
-                let mut tbe = self.tbes.remove(&addr).expect("still present");
-                self.arm_unblock(&mut tbe, addr, ctx);
-                self.tbes.insert(addr, tbe);
+                if self.ft {
+                    self.gen_counter += 1;
+                    let gen = self.gen_counter;
+                    self.lines
+                        .get_mut(addr)
+                        .and_then(|s| s.tbe.as_mut())
+                        .expect("still present")
+                        .unblock_gen = gen;
+                    ctx.arm_timeout(
+                        self.me,
+                        addr,
+                        TimeoutKind::LostUnblock,
+                        gen,
+                        ctx.config.ft.lost_unblock_timeout,
+                    );
+                }
             }
             Stage::WaitRecall => {
                 if self.ft && tbe.own_serial != msg.serial {
@@ -1006,7 +1057,7 @@ impl L2Controller {
     fn on_ack(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         // Invalidation acks for a recall (the bank is the requester).
         let addr = msg.addr;
-        let Some(tbe) = self.tbes.get_mut(&addr) else {
+        let Some(tbe) = self.lines.get_mut(addr).and_then(|s| s.tbe.as_mut()) else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -1027,7 +1078,7 @@ impl L2Controller {
     fn on_mem_wback(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         // WbAck from memory for a bank eviction.
         let addr = msg.addr;
-        let Some(tbe) = self.tbes.get(&addr) else {
+        let Some(tbe) = self.lines.get(addr).and_then(|s| s.tbe.as_ref()) else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -1035,7 +1086,7 @@ impl L2Controller {
             ctx.stats.stale_discards.incr();
             return;
         }
-        let tbe = self.tbes.remove(&addr).expect("checked above");
+        let tbe = self.take_tbe(addr).expect("checked above");
         if msg.wb_stale {
             // Memory does not consider us the owner; drop the eviction.
             self.pump_waiting(addr, ctx);
@@ -1051,15 +1102,12 @@ impl L2Controller {
         );
         if self.ft {
             let gen = self.next_gen();
-            self.mem_backups.insert(
-                addr,
-                MemBackup {
-                    data,
-                    serial: msg.serial,
-                    retries: 0,
-                    gen,
-                },
-            );
+            self.lines.entry(addr).mem_backup = Some(MemBackup {
+                data,
+                serial: msg.serial,
+                retries: 0,
+                gen,
+            });
             ctx.checker.backup_created(self.me, addr, ctx.now);
             ctx.arm_timeout(
                 self.me,
@@ -1076,7 +1124,11 @@ impl L2Controller {
         let addr = msg.addr;
         if msg.src.is_mem() {
             // Memory acknowledges our WbData: delete the backup.
-            if self.mem_backups.remove(&addr).is_some() {
+            if self
+                .lines
+                .get_mut(addr)
+                .is_some_and(|s| s.mem_backup.take().is_some())
+            {
                 ctx.checker.backup_deleted(self.me, addr, ctx.now);
             }
             ctx.send(
@@ -1087,7 +1139,7 @@ impl L2Controller {
         }
         // Standalone AckO from an L1 (its UnblockEx with the piggyback was
         // lost, or a reissued AckO): delete our grant backup and reply.
-        if let Some(tbe) = self.tbes.get(&addr) {
+        if let Some(tbe) = self.lines.get(addr).and_then(|s| s.tbe.as_ref()) {
             if tbe.sent_data_backup && tbe.blocker == msg.src {
                 ctx.checker.backup_deleted(self.me, addr, ctx.now);
             }
@@ -1102,18 +1154,20 @@ impl L2Controller {
         let addr = msg.addr;
         if msg.src.is_mem() {
             // Memory-facing §3.1.1 handshake complete.
-            if let Some(p) = self.ext_pending.get(&addr) {
-                if p.serial == msg.serial || !self.ft {
-                    self.ext_pending.remove(&addr);
-                    if let Some(line) = self.cache.get_mut(addr) {
-                        line.ext_blocked = false;
+            if let Some(st) = self.lines.get_mut(addr) {
+                if let Some(p) = &st.ext_pending {
+                    if p.serial == msg.serial || !self.ft {
+                        st.ext_pending = None;
+                        if let Some(line) = self.cache.get_mut(addr) {
+                            line.ext_blocked = false;
+                        }
                     }
                 }
             }
             return;
         }
         // AckBD from an L1: completes a writeback or recall handshake.
-        let Some(tbe) = self.tbes.get_mut(&addr) else {
+        let Some(tbe) = self.lines.get_mut(addr).and_then(|s| s.tbe.as_mut()) else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -1123,11 +1177,10 @@ impl L2Controller {
         }
         match tbe.stage {
             Stage::WaitWbAckBd => {
-                self.tbes.remove(&addr);
+                self.take_tbe(addr);
                 self.pump_waiting(addr, ctx);
             }
             Stage::WaitRecallAckBd => {
-                let tbe = self.tbes.get_mut(&addr).expect("present");
                 tbe.ackbd_gen = 0; // handshake done
                 tbe.stage = Stage::WaitRecall;
                 tbe.recall_needs_data = false;
@@ -1146,10 +1199,12 @@ impl L2Controller {
     fn install_line(&mut self, addr: LineAddr, data: LineData, ctx: &mut Ctx<'_>) {
         let mut line = L2Line::fresh();
         line.data = Some(data);
-        let tbes = &self.tbes;
-        let ext = &self.ext_pending;
+        let lines = &self.lines;
         let outcome = self.cache.insert(addr, line, |a, l| {
-            !l.ext_blocked && !tbes.contains_key(&a) && !ext.contains_key(&a)
+            !l.ext_blocked
+                && lines
+                    .get(a)
+                    .is_none_or(|s| s.tbe.is_none() && s.ext_pending.is_none())
         });
         if let Some((vaddr, vline)) = outcome.evicted {
             self.dispose_victim(vaddr, vline, ctx);
@@ -1208,17 +1263,17 @@ impl L2Controller {
                 ctx.config.ft.lost_unblock_timeout,
             );
         }
-        self.tbes.insert(vaddr, tbe);
+        self.set_tbe(vaddr, tbe);
     }
 
     fn try_finish_recall(&mut self, addr: LineAddr, ctx: &mut Ctx<'_>) {
-        let Some(tbe) = self.tbes.get(&addr) else {
+        let Some(tbe) = self.lines.get(addr).and_then(|s| s.tbe.as_ref()) else {
             return;
         };
         if tbe.stage != Stage::WaitRecall || tbe.recall_needs_data || !tbe.recall_acks.is_empty() {
             return;
         }
-        let tbe = self.tbes.remove(&addr).expect("checked above");
+        let tbe = self.take_tbe(addr).expect("checked above");
         if tbe.data_dirty {
             let data = tbe.data.expect("dirty recall holds data");
             self.start_mem_writeback(addr, data, ctx);
@@ -1247,7 +1302,7 @@ impl L2Controller {
                 ctx.config.ft.lost_request_timeout,
             );
         }
-        self.tbes.insert(addr, tbe);
+        self.set_tbe(addr, tbe);
         let mem = self.mem_of(addr, ctx.config);
         ctx.send(
             Message::new(MsgType::Put, addr, self.me, mem).serial(own_serial),
@@ -1256,22 +1311,19 @@ impl L2Controller {
     }
 
     /// After a transaction completes, service deferred requests for the
-    /// line until one blocks it again (or the queue drains).
+    /// line until one blocks it again (or the queue drains). The queue's
+    /// buffer stays in the slot, ready for the next deferral.
     fn pump_waiting(&mut self, addr: LineAddr, ctx: &mut Ctx<'_>) {
         loop {
-            if self.tbes.contains_key(&addr) {
-                return;
-            }
-            let Some(q) = self.waiting.get_mut(&addr) else {
+            let Some(st) = self.lines.get_mut(addr) else {
                 return;
             };
-            let Some(msg) = q.pop_front() else {
-                self.waiting.remove(&addr);
+            if st.tbe.is_some() {
+                return;
+            }
+            let Some(msg) = st.waiting.pop_front() else {
                 return;
             };
-            if q.is_empty() {
-                self.waiting.remove(&addr);
-            }
             self.service_request(msg, ctx);
         }
     }
@@ -1283,20 +1335,20 @@ impl L2Controller {
     fn on_unblock_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         // From memory: "is your fill still in progress?"
         let addr = msg.addr;
-        if let Some(tbe) = self.tbes.get(&addr) {
-            if tbe.stage == Stage::WaitMem {
+        if let Some(st) = self.lines.get(addr) {
+            if st.tbe.as_ref().is_some_and(|t| t.stage == Stage::WaitMem) {
                 return; // fill unresolved: nothing was lost (§3.3)
             }
-        }
-        if let Some(p) = self.ext_pending.get(&addr) {
-            let serial = p.serial;
-            ctx.send(
-                Message::new(MsgType::UnblockEx, addr, self.me, msg.src)
-                    .serial(serial)
-                    .with_acko(),
-                ctx.config.l2_tag_cycles,
-            );
-            return;
+            if let Some(p) = &st.ext_pending {
+                let serial = p.serial;
+                ctx.send(
+                    Message::new(MsgType::UnblockEx, addr, self.me, msg.src)
+                        .serial(serial)
+                        .with_acko(),
+                    ctx.config.l2_tag_cycles,
+                );
+                return;
+            }
         }
         // Handshake fully complete (or never ours): answer idempotently.
         ctx.send(
@@ -1309,28 +1361,30 @@ impl L2Controller {
 
     fn on_wb_ping(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         let addr = msg.addr;
-        if let Some(tbe) = self.tbes.get(&addr) {
-            if tbe.stage == Stage::WaitMemWbAck {
-                // Our Put is in flight and memory answered it (the WbAck was
-                // lost): the ping substitutes for the WbAck.
-                let mut as_wback =
-                    Message::new(MsgType::WbAck, addr, msg.src, self.me).serial(tbe.own_serial);
-                as_wback.wb_wants_data = true;
-                self.on_mem_wback(as_wback, ctx);
+        if let Some(st) = self.lines.get_mut(addr) {
+            if let Some(tbe) = &st.tbe {
+                if tbe.stage == Stage::WaitMemWbAck {
+                    // Our Put is in flight and memory answered it (the WbAck was
+                    // lost): the ping substitutes for the WbAck.
+                    let mut as_wback =
+                        Message::new(MsgType::WbAck, addr, msg.src, self.me).serial(tbe.own_serial);
+                    as_wback.wb_wants_data = true;
+                    self.on_mem_wback(as_wback, ctx);
+                    return;
+                }
+            }
+            if let Some(b) = st.mem_backup.as_mut() {
+                b.serial = msg.serial;
+                let data = b.data;
+                ctx.send(
+                    Message::new(MsgType::WbData, addr, self.me, msg.src)
+                        .serial(msg.serial)
+                        .data(data)
+                        .dirty(true),
+                    ctx.config.l2_tag_cycles,
+                );
                 return;
             }
-        }
-        if let Some(b) = self.mem_backups.get_mut(&addr) {
-            b.serial = msg.serial;
-            let data = b.data;
-            ctx.send(
-                Message::new(MsgType::WbData, addr, self.me, msg.src)
-                    .serial(msg.serial)
-                    .data(data)
-                    .dirty(true),
-                ctx.config.l2_tag_cycles,
-            );
-            return;
         }
         ctx.send(
             Message::new(MsgType::WbCancel, addr, self.me, msg.src).serial(msg.serial),
@@ -1343,8 +1397,9 @@ impl L2Controller {
         // WbData.
         let addr = msg.addr;
         let still_waiting = self
-            .tbes
-            .get(&addr)
+            .lines
+            .get(addr)
+            .and_then(|s| s.tbe.as_ref())
             .is_some_and(|t| t.kind == TbeKind::Wb && t.stage == Stage::WaitWbData);
         let reply = if still_waiting {
             MsgType::NackO
@@ -1359,7 +1414,7 @@ impl L2Controller {
 
     fn on_nacko(&mut self, msg: Message, ctx: &mut Ctx<'_>) {
         // Memory never received our WbData: resend it from the backup.
-        let Some(b) = self.mem_backups.get(&msg.addr) else {
+        let Some(b) = self.lines.get(msg.addr).and_then(|s| s.mem_backup.as_ref()) else {
             ctx.stats.stale_discards.incr();
             return;
         };
@@ -1382,7 +1437,7 @@ impl L2Controller {
     // ------------------------------------------------------------------
 
     fn on_lost_unblock(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
-        let Some(tbe) = self.tbes.get_mut(&addr) else {
+        let Some(tbe) = self.lines.get_mut(addr).and_then(|s| s.tbe.as_mut()) else {
             return;
         };
         if tbe.unblock_gen != gen {
@@ -1454,7 +1509,7 @@ impl L2Controller {
         // Reissue serials come from the allocator stream (see the L1-side
         // comment: avoids cross-transaction serial collisions).
         let fresh = self.serials.fresh();
-        let Some(tbe) = self.tbes.get_mut(&addr) else {
+        let Some(tbe) = self.lines.get_mut(addr).and_then(|s| s.tbe.as_mut()) else {
             return;
         };
         if tbe.req_gen != gen {
@@ -1497,7 +1552,7 @@ impl L2Controller {
 
     fn on_lost_ackbd(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
         let fresh = self.serials.fresh();
-        if let Some(tbe) = self.tbes.get_mut(&addr) {
+        if let Some(tbe) = self.lines.get_mut(addr).and_then(|s| s.tbe.as_mut()) {
             if tbe.ackbd_gen == gen
                 && matches!(tbe.stage, Stage::WaitWbAckBd | Stage::WaitRecallAckBd)
             {
@@ -1528,7 +1583,11 @@ impl L2Controller {
                 return;
             }
         }
-        if let Some(p) = self.ext_pending.get_mut(&addr) {
+        if let Some(p) = self
+            .lines
+            .get_mut(addr)
+            .and_then(|s| s.ext_pending.as_mut())
+        {
             if p.gen != gen {
                 return;
             }
@@ -1558,7 +1617,7 @@ impl L2Controller {
     }
 
     fn on_lost_data(&mut self, addr: LineAddr, gen: u64, ctx: &mut Ctx<'_>) {
-        let Some(b) = self.mem_backups.get_mut(&addr) else {
+        let Some(b) = self.lines.get_mut(addr).and_then(|s| s.mem_backup.as_mut()) else {
             return;
         };
         if b.gen != gen {

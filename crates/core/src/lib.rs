@@ -40,6 +40,7 @@ pub mod hardware;
 pub mod ids;
 pub mod l1;
 pub mod l2;
+mod linetab;
 pub mod mem;
 pub mod msc;
 pub mod msg;
@@ -62,5 +63,5 @@ pub use msg::{Message, MsgType};
 pub use proto::TimeoutKind;
 pub use serial::{SerialAllocator, SerialNum};
 pub use stats::ProtocolStats;
-pub use system::{RunError, SimReport, System};
+pub use system::{RunError, SimReport, System, SystemSnapshot};
 pub use trace::{CoreTrace, TraceOp, Workload};

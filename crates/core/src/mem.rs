@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use crate::data::LineData;
 use crate::ids::{LineAddr, NodeId};
 use crate::msg::{Message, MsgType};
-use crate::proto::{backoff_delay, Ctx, TimeoutKind};
+use crate::proto::{backoff_delay, Ctx, Facets, TimeoutKind};
 use crate::serial::SerialNum;
 
 #[allow(clippy::enum_variant_names)] // Wait* mirrors the protocol's terminology
@@ -40,7 +40,7 @@ struct MemTbe {
 }
 
 /// One memory controller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemController {
     me: NodeId,
     ft: bool,
@@ -114,8 +114,8 @@ impl MemController {
     /// The line's current facet configuration, in the state vocabulary of
     /// the reified transition table ([`crate::transitions::mem_table`]).
     /// The first entry is always the mandatory `Line` facet.
-    pub fn table_facets(&self, addr: LineAddr) -> Vec<&'static str> {
-        let mut f = Vec::with_capacity(2);
+    pub fn table_facets(&self, addr: LineAddr) -> Facets {
+        let mut f = Facets::new();
         f.push(if self.l2_owned.contains(&addr) {
             "C"
         } else {
@@ -470,13 +470,11 @@ impl MemController {
             let Some(q) = self.waiting.get_mut(&addr) else {
                 return;
             };
+            // The drained queue keeps its buffer for the next deferral
+            // instead of being dropped from the map.
             let Some(msg) = q.pop_front() else {
-                self.waiting.remove(&addr);
                 return;
             };
-            if q.is_empty() {
-                self.waiting.remove(&addr);
-            }
             self.service_request(msg, ctx);
         }
     }

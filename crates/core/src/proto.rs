@@ -70,6 +70,45 @@ impl std::fmt::Display for TimeoutKind {
     }
 }
 
+/// The set of transition-table facets a controller currently holds for a
+/// line (e.g. `"Mb"`, `"miss:GetX"`). At most four facets can coexist on one
+/// line, so the set lives on the stack — `table_facets` is called once per
+/// delivered message when transition checking is enabled and must not
+/// allocate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Facets {
+    buf: [&'static str; 4],
+    len: u8,
+}
+
+impl Facets {
+    /// An empty facet set.
+    pub const fn new() -> Self {
+        Facets {
+            buf: [""; 4],
+            len: 0,
+        }
+    }
+
+    /// Adds a facet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than four facets are pushed.
+    pub fn push(&mut self, facet: &'static str) {
+        self.buf[self.len as usize] = facet;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for Facets {
+    type Target = [&'static str];
+
+    fn deref(&self) -> &[&'static str] {
+        &self.buf[..self.len as usize]
+    }
+}
+
 /// Exponential backoff for recovery retries: attempt `n` waits
 /// `base << min(n, 6)` cycles. Without backoff, a detection timeout shorter
 /// than the worst-case service latency livelocks: every response arrives

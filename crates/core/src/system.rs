@@ -5,7 +5,7 @@
 //! completion, producing a [`SimReport`] with the quantities the paper's
 //! evaluation reports.
 
-use ftdircmp_noc::{Mesh, NocStats, RouterId};
+use ftdircmp_noc::{FaultConfig, Mesh, NocStats, RouterId};
 use ftdircmp_sim::{Cycle, DetRng, EventQueue};
 
 use crate::checker::Checker;
@@ -21,7 +21,7 @@ use crate::stats::ProtocolStats;
 use crate::trace::{TraceOp, Workload};
 use crate::tracelog::{StderrSink, TraceEvent, TraceEventKind, TraceSink};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Event {
     CpuStep(u8),
     Deliver(Message),
@@ -147,6 +147,9 @@ pub struct System {
     /// monotonic: a drained core never becomes un-done).
     core_done: Vec<bool>,
     cores_done: usize,
+    /// Whether the initial `CpuStep` events have been scheduled (set by the
+    /// first `advance`, so a restored snapshot never re-schedules them).
+    started: bool,
     /// Scratch buffers reused across `dispatch` calls so the hot loop does
     /// not allocate three `Vec`s per event.
     scratch_out: Vec<Outgoing>,
@@ -162,6 +165,51 @@ impl std::fmt::Debug for System {
             .field("pending_events", &self.queue.len())
             .finish_non_exhaustive()
     }
+}
+
+/// Cloning duplicates the entire simulation state — caches, directories,
+/// TBEs, in-flight events, RNG streams — *except* the trace sink, which is
+/// not duplicated (the clone gets `None`): a forked run replaying the same
+/// prefix would otherwise interleave its trace with the original's.
+impl Clone for System {
+    fn clone(&self) -> Self {
+        System {
+            config: self.config.clone(),
+            queue: self.queue.clone(),
+            mesh: self.mesh.clone(),
+            l1s: self.l1s.clone(),
+            l2s: self.l2s.clone(),
+            mems: self.mems.clone(),
+            cpus: self.cpus.clone(),
+            checker: self.checker.clone(),
+            stats: self.stats.clone(),
+            workload_name: self.workload_name.clone(),
+            last_progress: self.last_progress,
+            finished_at: self.finished_at,
+            trace_sink: None,
+            core_done: self.core_done.clone(),
+            cores_done: self.cores_done,
+            started: self.started,
+            scratch_out: Vec::new(),
+            scratch_timeouts: Vec::new(),
+            scratch_completions: Vec::new(),
+        }
+    }
+}
+
+/// A resumable checkpoint of a paused [`System`].
+///
+/// Taken with [`System::snapshot`] and turned back into runnable systems
+/// with [`System::restore`] any number of times. The checkpoint contract
+/// (DESIGN.md §8): a restored system continues **byte-identically** to the
+/// system it was taken from — same event order, same RNG draws, same
+/// report — because the snapshot captures every piece of simulation state
+/// (caches, directory/TBE slabs, NoC link reservations and in-flight
+/// events, RNG streams, the event queue with its sequence counter, and all
+/// statistics). Only the trace sink is excluded (see [`System`]'s `Clone`).
+#[derive(Debug, Clone)]
+pub struct SystemSnapshot {
+    system: System,
 }
 
 impl System {
@@ -228,6 +276,7 @@ impl System {
             trace_sink: StderrSink::from_env().map(|s| Box::new(s) as Box<dyn TraceSink>),
             core_done,
             cores_done,
+            started: false,
             scratch_out: Vec::new(),
             scratch_timeouts: Vec::new(),
             scratch_completions: Vec::new(),
@@ -278,7 +327,8 @@ impl System {
         (l1 + l2 + mem) as u64
     }
 
-    /// Runs the workload to completion.
+    /// Runs the workload to completion (from the start, or from wherever a
+    /// restored snapshot was paused).
     ///
     /// # Errors
     ///
@@ -286,9 +336,35 @@ impl System {
     /// the watchdog window — which is the guaranteed outcome of losing any
     /// message under DirCMP (§3), and must never happen under FtDirCMP.
     pub fn run(mut self) -> Result<SimReport, RunError> {
-        for i in 0..self.cpus.len() {
-            if !self.cpus[i].is_done() {
-                self.queue.schedule(Cycle::ZERO, Event::CpuStep(i as u8));
+        self.advance(None)?;
+        self.into_report()
+    }
+
+    /// Advances the simulation until at least `mem_ops` memory operations
+    /// have retired (or the workload completes first), then pauses. The
+    /// warmup phase of a checkpoint-fork campaign: pause, [`System::snapshot`],
+    /// fork. Running to a threshold and then to completion processes exactly
+    /// the event sequence of an uninterrupted [`System::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_until_retired(&mut self, mem_ops: u64) -> Result<(), RunError> {
+        self.advance(Some(mem_ops))
+    }
+
+    /// Event loop: pops and dispatches until the queue drains, the watchdog
+    /// trips, or (with `stop_after_mem_ops`) the retirement threshold is
+    /// crossed. The threshold check only decides where to *pause* — it
+    /// mutates nothing — so a paused-and-resumed run is indistinguishable
+    /// from an uninterrupted one.
+    fn advance(&mut self, stop_after_mem_ops: Option<u64>) -> Result<(), RunError> {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.cpus.len() {
+                if !self.cpus[i].is_done() {
+                    self.queue.schedule(Cycle::ZERO, Event::CpuStep(i as u8));
+                }
             }
         }
         let watchdog = self.config.watchdog_cycles;
@@ -313,11 +389,20 @@ impl System {
                 break;
             }
             self.dispatch(now, ev);
+            if stop_after_mem_ops.is_some_and(|target| self.retired_mem_ops() >= target) {
+                return Ok(());
+            }
         }
+        Ok(())
+    }
 
-        // An empty event queue with blocked cores is a deadlock too: under
-        // DirCMP a lost message leaves nothing in flight and no timer to
-        // recover (§3).
+    /// Finishes a run whose event loop has ended, producing the report.
+    ///
+    /// # Errors
+    ///
+    /// An empty event queue with blocked cores is a deadlock: under DirCMP a
+    /// lost message leaves nothing in flight and no timer to recover (§3).
+    fn into_report(self) -> Result<SimReport, RunError> {
         if !self.all_cores_done() {
             let blocked: Vec<u8> = self
                 .cpus
@@ -353,6 +438,46 @@ impl System {
             injection_classes: self.mesh.fault_injector().injection_log().to_vec(),
         };
         Ok(report)
+    }
+
+    /// Captures a resumable checkpoint of the current simulation state.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        SystemSnapshot {
+            system: self.clone(),
+        }
+    }
+
+    /// Reconstructs a runnable system from a checkpoint. May be called any
+    /// number of times on the same snapshot; every restored system resumes
+    /// from the identical state.
+    pub fn restore(snapshot: &SystemSnapshot) -> System {
+        snapshot.system.clone()
+    }
+
+    /// Replaces the network fault configuration mid-run.
+    ///
+    /// The fork step of a checkpoint-fork campaign: the shared warmup runs
+    /// with [`FaultConfig::none`] (zero fault-RNG draws), each fork restores
+    /// the snapshot and installs its own fault cell here. The injector's
+    /// RNG stream and message counters are preserved, so the forked run is
+    /// byte-identical to a from-scratch run whose faults were gated until
+    /// the same point (see [`ftdircmp_noc::FaultInjector::set_config`]).
+    pub fn set_fault_config(&mut self, faults: FaultConfig) {
+        self.config.mesh.faults = faults.clone();
+        self.mesh.set_fault_config(faults);
+    }
+
+    /// Memory operations retired so far across all cores (the warmup
+    /// progress measure of [`System::run_until_retired`]).
+    pub fn retired_mem_ops(&self) -> u64 {
+        self.cpus.iter().map(Cpu::mem_ops_done).sum()
+    }
+
+    /// Messages the fault injector has examined so far. Deterministic drop
+    /// indices at or above this count can still fire after a
+    /// [`System::set_fault_config`] swap; lower ones are already past.
+    pub fn messages_examined(&self) -> u64 {
+        self.mesh.fault_injector().messages_seen()
     }
 
     /// Attaches a trace sink observing every delivered message, fired

@@ -293,6 +293,9 @@ pub fn explore(opts: &ExploreOptions) -> ExploreReport {
     let campaign = Campaign {
         jobs: opts.jobs,
         progress: opts.progress,
+        // Exploration measures fault timing from cycle zero; never gate
+        // faults behind a shared warmup here.
+        warmup_checkpoint: None,
     };
     let mut report = ExploreReport::default();
 

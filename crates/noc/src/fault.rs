@@ -241,6 +241,28 @@ impl FaultInjector {
         }
     }
 
+    /// Replaces the fault configuration mid-run, preserving the injector's
+    /// random stream and message counters.
+    ///
+    /// This is the fork point of checkpoint-fork campaigns: the shared
+    /// warmup runs with [`FaultConfig::none`] (which makes **no** RNG
+    /// draws — both the fault-free path and the deterministic-schedule
+    /// path leave the stream untouched), so after the swap the injector is
+    /// in exactly the state a from-scratch run with `config` would reach
+    /// at the same point, had its faults been gated during warmup.
+    /// Deterministic drop indices keep counting from the run's first
+    /// message: indices below [`FaultInjector::messages_seen`] can no
+    /// longer fire.
+    pub fn set_config(&mut self, config: FaultConfig) {
+        let mut sorted_drops = config.drop_indices.clone().unwrap_or_default();
+        sorted_drops.sort_unstable();
+        sorted_drops.dedup();
+        self.config = config;
+        self.sorted_drops = sorted_drops;
+        self.drop_cursor = 0;
+        self.burst_remaining = 0;
+    }
+
     /// Messages examined so far.
     pub fn messages_seen(&self) -> u64 {
         self.messages_seen
@@ -379,6 +401,37 @@ mod tests {
             inj.injection_log(),
             &[VcClass::Request, VcClass::Unblock, VcClass::Request]
         );
+    }
+
+    #[test]
+    fn set_config_preserves_stream_and_counters() {
+        // A gated run (none until the swap) must match a reference whose
+        // injector was built with the target config but never consulted
+        // before the swap point.
+        let target = FaultConfig::per_million(250_000.0);
+        let mut gated = FaultInjector::new(FaultConfig::none(), DetRng::from_seed(21));
+        for _ in 0..50 {
+            assert!(!gated.should_drop());
+        }
+        gated.set_config(target.clone());
+        let mut reference = FaultInjector::new(target, DetRng::from_seed(21));
+        assert_eq!(gated.messages_seen(), 50);
+        for _ in 0..1000 {
+            assert_eq!(gated.should_drop(), reference.should_drop());
+        }
+    }
+
+    #[test]
+    fn set_config_drop_indices_count_from_run_start() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), DetRng::from_seed(1));
+        for _ in 0..4 {
+            assert!(!inj.should_drop());
+        }
+        // Index 2 is already past; only index 6 can still fire.
+        inj.set_config(FaultConfig::drop_exactly(vec![2, 6]));
+        let pattern: Vec<bool> = (4..8).map(|_| inj.should_drop()).collect();
+        assert_eq!(pattern, vec![false, false, true, false]);
+        assert_eq!(inj.messages_dropped(), 1);
     }
 
     #[test]

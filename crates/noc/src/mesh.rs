@@ -169,6 +169,13 @@ impl Mesh {
         &self.fault
     }
 
+    /// Replaces the fault configuration mid-run (the fork point of
+    /// checkpoint-fork campaigns; see [`FaultInjector::set_config`]).
+    pub fn set_fault_config(&mut self, faults: FaultConfig) {
+        self.config.faults = faults.clone();
+        self.fault.set_config(faults);
+    }
+
     /// Injects a message of `size_bytes` at `now` from `src` to `dst` on
     /// virtual-channel class `class`.
     ///

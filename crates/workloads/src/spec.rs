@@ -36,7 +36,7 @@ pub enum SharingPattern {
 /// assert_eq!(wl.name, "radix");
 /// assert_eq!(wl.traces.len(), 16);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Display name (the benchmark this trace models).
     pub name: &'static str,

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Simulator performance benchmarks:
 #   1. criterion microbenches (events/sec of the engine itself);
-#   2. a fixed fig3 campaign, run sequentially (--jobs 1) and in parallel,
-#      emitting results/BENCH_campaign.json with wall time and throughput.
+#   2. a fixed fig3 campaign: classic sequential reference (--jobs 1),
+#      checkpoint-fork sequential, and checkpoint-fork parallel, emitting
+#      results/BENCH_campaign.json with wall time and throughput;
+#   3. a trajectory datapoint appended to results/BENCH_trajectory.jsonl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,36 +19,51 @@ echo "== criterion: simulator microbenches =="
 cargo bench -q -p ftdircmp-bench --bench simulator
 
 echo
-echo "== fig3 campaign, sequential reference (--jobs 1, seeds=$SEEDS) =="
+echo "== fig3 campaign, classic sequential reference (--jobs 1, seeds=$SEEDS) =="
 cargo build --release -q -p ftdircmp-bench --bin fig3_execution_time
 t0=$(date +%s.%N)
 ./target/release/fig3_execution_time --seeds "$SEEDS" --jobs 1 \
     --bench-json results/BENCH_campaign_seq.json > results/fig3_seq.txt
 t1=$(date +%s.%N)
 seq_wall=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
-echo "sequential wall: ${seq_wall}s"
+echo "classic sequential wall: ${seq_wall}s"
 
 echo
-echo "== fig3 campaign, parallel (--jobs $JOBS, seeds=$SEEDS) =="
+echo "== fig3 campaign, checkpoint-fork sequential (--jobs 1) =="
+./target/release/fig3_execution_time --seeds "$SEEDS" --jobs 1 --warmup-checkpoint \
+    --bench-json results/BENCH_campaign_ckpt_seq.json > results/fig3_ckpt_seq.txt
+echo
+echo "== fig3 campaign, checkpoint-fork parallel (--jobs $JOBS) =="
 t0=$(date +%s.%N)
-./target/release/fig3_execution_time --seeds "$SEEDS" --jobs "$JOBS" \
+./target/release/fig3_execution_time --seeds "$SEEDS" --jobs "$JOBS" --warmup-checkpoint \
     --bench-json results/BENCH_campaign.json > results/fig3_par.txt
 t1=$(date +%s.%N)
 par_wall=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
-echo "parallel wall:   ${par_wall}s"
+echo "checkpoint-fork parallel wall: ${par_wall}s"
 
-# Byte-compare the table output, ignoring only the line that names the
-# (deliberately different) json destination.
-if ! cmp -s <(grep -v '^(wrote ' results/fig3_seq.txt) \
+# Byte-compare checkpoint-fork output across --jobs, ignoring only the line
+# that names the (deliberately different) json destination. Checkpoint mode
+# gates faults behind the shared warmup, so it is compared against its own
+# sequential reference, not the classic run (DESIGN.md §8).
+if ! cmp -s <(grep -v '^(wrote ' results/fig3_ckpt_seq.txt) \
             <(grep -v '^(wrote ' results/fig3_par.txt); then
-    echo "ERROR: parallel output differs from sequential output" >&2
-    diff results/fig3_seq.txt results/fig3_par.txt >&2 || true
+    echo "ERROR: checkpoint-fork parallel output differs from its sequential reference" >&2
+    diff results/fig3_ckpt_seq.txt results/fig3_par.txt >&2 || true
     exit 1
 fi
-echo "parallel output is byte-identical to sequential."
+echo "checkpoint-fork parallel output is byte-identical to sequential."
 
 speedup=$(awk "BEGIN{printf \"%.2f\", $seq_wall / $par_wall}")
 echo
-echo "campaign speedup at $JOBS jobs: ${speedup}x"
-echo "throughput summary (parallel run):"
+echo "campaign speedup over classic sequential at $JOBS jobs: ${speedup}x"
+echo "throughput summary (checkpoint-fork parallel run):"
 cat results/BENCH_campaign.json
+
+# Append a trajectory datapoint so perf over time is greppable from the repo.
+git_sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+eps=$(sed -n 's/.*"events_per_second": \([0-9]*\).*/\1/p' results/BENCH_campaign.json)
+cps=$(sed -n 's/.*"simulated_cycles_per_second": \([0-9]*\).*/\1/p' results/BENCH_campaign.json)
+printf '{"git_sha": "%s", "date": "%s", "jobs": %s, "events_per_second": %s, "cycles_per_second": %s}\n' \
+    "$git_sha" "$date_iso" "$JOBS" "$eps" "$cps" >> results/BENCH_trajectory.jsonl
+echo "appended datapoint to results/BENCH_trajectory.jsonl"
