@@ -55,6 +55,7 @@
 //! assert_eq!(results[0].len(), 2); // one report per seed, in seed order
 //! ```
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -64,6 +65,71 @@ use ftdircmp_noc::FaultConfig;
 use ftdircmp_workloads::WorkloadSpec;
 
 use crate::{expect_coherent, run_seed_fallible};
+
+/// How one campaign unit failed.
+///
+/// [`run_units_caught`] and [`run_campaign_caught`] catch worker panics and
+/// turn them into [`CellError::Panicked`] values identifying the exact
+/// (spec, seed, fault config) that blew up, so a long-lived caller (the
+/// `ftdircmp-serve` daemon) can log and quarantine the cell instead of
+/// aborting the whole process.
+#[derive(Debug, Clone)]
+pub enum CellError {
+    /// The simulation itself failed (deadlock, invalid configuration).
+    Run(RunError),
+    /// The unit's worker panicked mid-cell.
+    Panicked {
+        /// Display label of the owning cell.
+        label: String,
+        /// Workload spec name.
+        spec: String,
+        /// Seed of the failing unit.
+        seed: u64,
+        /// Debug rendering of the unit's fault configuration.
+        faults: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Run(e) => e.fmt(f),
+            CellError::Panicked {
+                label,
+                spec,
+                seed,
+                faults,
+                message,
+            } => write!(
+                f,
+                "campaign unit panicked: cell {label:?} (spec {spec}, seed {seed}, \
+                 faults {faults}): {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+impl From<RunError> for CellError {
+    fn from(e: RunError) -> Self {
+        CellError::Run(e)
+    }
+}
+
+/// Renders a caught panic payload (strings pass through, everything else
+/// gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One campaign cell: a workload under a configuration, averaged over
 /// `seeds` seeds.
@@ -148,53 +214,143 @@ pub fn run_campaign(cells: &[Cell], opts: &Campaign) -> Vec<Vec<SimReport>> {
 
 /// Like [`run_campaign`] but returns `Err` results untouched (used to
 /// demonstrate DirCMP's deadlock failure mode).
+///
+/// # Panics
+///
+/// Propagates a worker panic (identifying the failing cell, seed, and
+/// fault configuration) — callers that must survive poisoned cells use
+/// [`run_campaign_caught`] instead.
 pub fn run_campaign_fallible(
     cells: &[Cell],
     opts: &Campaign,
 ) -> Vec<Vec<Result<SimReport, RunError>>> {
+    run_campaign_caught(cells, opts)
+        .into_iter()
+        .map(|results| {
+            results
+                .into_iter()
+                .map(|r| {
+                    r.map_err(|e| match e {
+                        CellError::Run(e) => e,
+                        p @ CellError::Panicked { .. } => panic!("{p}"),
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Like [`run_campaign_fallible`], but worker panics are caught per unit
+/// and returned as [`CellError::Panicked`] instead of aborting the
+/// process. This is the entry point the `ftdircmp-serve` daemon uses: a
+/// poisoned cell is quarantined, the rest of the campaign completes.
+pub fn run_campaign_caught(
+    cells: &[Cell],
+    opts: &Campaign,
+) -> Vec<Vec<Result<SimReport, CellError>>> {
     // Deterministic unit order: cells in input order, seeds ascending.
-    let units: Vec<(usize, u64)> = cells
+    let units: Vec<Unit> = cells
         .iter()
-        .enumerate()
-        .flat_map(|(ci, c)| (0..c.seeds).map(move |s| (ci, s)))
+        .flat_map(|c| {
+            (0..c.seeds).map(|seed| Unit {
+                label: c.label.clone(),
+                spec: c.spec.clone(),
+                config: c.config.clone(),
+                seed,
+            })
+        })
         .collect();
-    let slots: Vec<OnceLock<Result<SimReport, RunError>>> =
+    let flat = run_units_caught(&units, opts);
+
+    // Reassemble into the pre-indexed shape: results[cell][seed].
+    let mut flat = flat.into_iter();
+    cells
+        .iter()
+        .map(|c| (&mut flat).take(c.seeds as usize).collect())
+        .collect()
+}
+
+/// One executable simulation unit: a workload under a configuration at one
+/// explicit seed. [`run_campaign_caught`] expands every [`Cell`] into its
+/// per-seed units; the `ftdircmp-serve` daemon builds sparse unit lists
+/// directly when resuming a half-finished campaign (only the units whose
+/// results never landed are re-run).
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Display label used in progress lines.
+    pub label: String,
+    /// Workload to generate.
+    pub spec: WorkloadSpec,
+    /// System configuration to run it under.
+    pub config: SystemConfig,
+    /// Seed for this unit.
+    pub seed: u64,
+}
+
+/// Runs every unit, catching worker panics per unit. Results come back
+/// index-aligned with `units`.
+///
+/// Checkpoint-fork grouping (see the module docs) applies to any subset of
+/// units: a member's forked result depends only on the shared warmup
+/// (spec, seed, config-modulo-faults) and its own faults, never on which
+/// other members run alongside it — so resuming a campaign with a sparse
+/// unit list reproduces the exact per-unit results of the full campaign.
+pub fn run_units_caught(units: &[Unit], opts: &Campaign) -> Vec<Result<SimReport, CellError>> {
+    let slots: Vec<OnceLock<Result<SimReport, CellError>>> =
         units.iter().map(|_| OnceLock::new()).collect();
     let total = units.len();
     let completed = AtomicUsize::new(0);
     let started = Instant::now();
 
-    let note_progress = |i: usize, result: &Result<SimReport, RunError>, t: Instant| {
+    let note_progress = |i: usize, result: &Result<SimReport, CellError>, t: Instant| {
         if !opts.progress {
             return;
         }
-        let (ci, seed) = units[i];
+        let u = &units[i];
         let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
         let status = match result {
             Ok(r) => format!("{} cycles", r.cycles),
-            Err(e) => match e {
-                RunError::Deadlock { at, .. } => format!("deadlock at cycle {at}"),
-                RunError::InvalidConfig(_) => "invalid config".to_string(),
-            },
+            Err(CellError::Run(RunError::Deadlock { at, .. })) => {
+                format!("deadlock at cycle {at}")
+            }
+            Err(CellError::Run(RunError::InvalidConfig(_))) => "invalid config".to_string(),
+            Err(CellError::Panicked { .. }) => "PANICKED".to_string(),
         };
         eprintln!(
-            "[campaign {n}/{total}] {} seed {seed}: {status} in {:.2}s",
-            cells[ci].label,
+            "[campaign {n}/{total}] {} seed {}: {status} in {:.2}s",
+            u.label,
+            u.seed,
             t.elapsed().as_secs_f64()
         );
     };
-    let finish_unit = |i: usize, result: Result<SimReport, RunError>, t: Instant| {
+    let finish_unit = |i: usize, result: Result<SimReport, CellError>, t: Instant| {
         note_progress(i, &result, t);
         assert!(
             slots[i].set(result).is_ok(),
             "campaign unit {i} computed twice"
         );
     };
+    // Runs `f`, converting a panic into the typed per-unit error.
+    let catch = |i: usize,
+                 f: &mut dyn FnMut() -> Result<SimReport, RunError>|
+     -> Result<SimReport, CellError> {
+        let u = &units[i];
+        match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(r) => r.map_err(CellError::Run),
+            Err(payload) => Err(CellError::Panicked {
+                label: u.label.clone(),
+                spec: u.spec.name.to_string(),
+                seed: u.seed,
+                faults: format!("{:?}", u.config.mesh.faults),
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    };
     let run_unit_classic = |i: usize| {
-        let (ci, seed) = units[i];
-        let cell = &cells[ci];
+        let u = &units[i];
         let t = Instant::now();
-        finish_unit(i, run_seed_fallible(&cell.spec, &cell.config, seed), t);
+        let result = catch(i, &mut || run_seed_fallible(&u.spec, &u.config, u.seed));
+        finish_unit(i, result, t);
     };
     let run_group = |group: &[usize]| {
         // Singleton groups (and everything when checkpointing is off) take
@@ -212,21 +368,24 @@ pub fn run_campaign_fallible(
         // deterministic drop schedule consumes RNG, so swapping each
         // member's faults in at the fork point reproduces a from-scratch run
         // with faults gated until the same retirement count.
-        let (ci0, seed) = units[*first];
-        let proto = &cells[ci0];
-        let wl = proto.spec.generate(proto.config.tiles, 1000 + seed);
-        let mut warm_cfg = proto.config.clone().with_seed(1000 + seed);
-        warm_cfg.mesh.faults = FaultConfig::none();
-        let target = (wl.total_mem_ops() as f64 * (pct.clamp(0.0, 100.0) / 100.0)).ceil() as u64;
+        let proto = &units[*first];
+        let seed = proto.seed;
         let t_warm = Instant::now();
-        let warm = System::new(warm_cfg, &wl).and_then(|mut sys| {
-            sys.run_until_retired(target)?;
-            Ok(sys)
-        });
-        let Ok(sys) = warm else {
-            // The fault-free prefix itself failed (deadlock or invalid
-            // config): fall back to full runs so each member reports its
-            // own error through the unchanged classic path.
+        let warm = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let wl = proto.spec.generate(proto.config.tiles, 1000 + seed);
+            let mut warm_cfg = proto.config.clone().with_seed(1000 + seed);
+            warm_cfg.mesh.faults = FaultConfig::none();
+            let target =
+                (wl.total_mem_ops() as f64 * (pct.clamp(0.0, 100.0) / 100.0)).ceil() as u64;
+            System::new(warm_cfg, &wl).and_then(|mut sys| {
+                sys.run_until_retired(target)?;
+                Ok((sys, target))
+            })
+        }));
+        let Ok(Ok((sys, target))) = warm else {
+            // The fault-free prefix itself failed (deadlock, invalid
+            // config, or a panic): fall back to full runs so each member
+            // reports its own error through the unchanged classic path.
             group.iter().copied().for_each(run_unit_classic);
             return;
         };
@@ -241,18 +400,21 @@ pub fn run_campaign_fallible(
         let snap = sys.snapshot();
         let mut warm = Some(sys);
         for &i in group {
-            let (ci, _) = units[i];
             let t = Instant::now();
-            let mut forked = warm.take().unwrap_or_else(|| System::restore(&snap));
-            forked.set_fault_config(cells[ci].config.mesh.faults.clone());
-            finish_unit(i, forked.run(), t);
+            let mut forked = Some(warm.take().unwrap_or_else(|| System::restore(&snap)));
+            let result = catch(i, &mut || {
+                let mut sys = forked.take().expect("fork consumed once");
+                sys.set_fault_config(units[i].config.mesh.faults.clone());
+                sys.run()
+            });
+            finish_unit(i, result, t);
         }
     };
 
     // Work items are groups of units sharing a warmup; without
     // `--warmup-checkpoint` every unit is its own (classic) group.
     let groups: Vec<Vec<usize>> = if opts.warmup_checkpoint.is_some() {
-        group_units(cells, &units)
+        group_units(units)
     } else {
         (0..total).map(|i| vec![i]).collect()
     };
@@ -283,15 +445,26 @@ pub fn run_campaign_fallible(
         );
     }
 
-    // Reassemble into the pre-indexed shape: results[cell][seed].
-    let mut results: Vec<Vec<Result<SimReport, RunError>>> = cells
-        .iter()
-        .map(|c| Vec::with_capacity(c.seeds as usize))
-        .collect();
-    for (slot, &(ci, _)) in slots.into_iter().zip(&units) {
-        results[ci].push(slot.into_inner().expect("campaign unit completed"));
-    }
-    results
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            // Per-unit catch_unwind fills every slot; an empty one means the
+            // group machinery itself failed. Surface it as a typed error —
+            // never abort the caller (the pre-fix code died here with an
+            // opaque `expect("campaign unit completed")`).
+            slot.into_inner().unwrap_or_else(|| {
+                let u = &units[i];
+                Err(CellError::Panicked {
+                    label: u.label.clone(),
+                    spec: u.spec.name.to_string(),
+                    seed: u.seed,
+                    faults: format!("{:?}", u.config.mesh.faults),
+                    message: "unit result never landed (worker aborted mid-group)".to_string(),
+                })
+            })
+        })
+        .collect()
 }
 
 /// Partitions units into checkpoint-sharing groups, preserving unit order
@@ -300,7 +473,7 @@ pub fn run_campaign_fallible(
 /// Two units share a warmup iff they run the same seed, the same workload
 /// spec, and configurations that are equal once faults are stripped — the
 /// exact precondition for the fork-point fault swap to be sound.
-fn group_units(cells: &[Cell], units: &[(usize, u64)]) -> Vec<Vec<usize>> {
+fn group_units(units: &[Unit]) -> Vec<Vec<usize>> {
     fn modulo_faults(config: &SystemConfig) -> SystemConfig {
         let mut c = config.clone();
         c.mesh.faults = FaultConfig::none();
@@ -308,16 +481,15 @@ fn group_units(cells: &[Cell], units: &[(usize, u64)]) -> Vec<Vec<usize>> {
     }
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut keys: Vec<(u64, &WorkloadSpec, SystemConfig)> = Vec::new();
-    for (u, &(ci, seed)) in units.iter().enumerate() {
-        let cell = &cells[ci];
-        let stripped = modulo_faults(&cell.config);
+    for (u, unit) in units.iter().enumerate() {
+        let stripped = modulo_faults(&unit.config);
         if let Some(g) = keys
             .iter()
-            .position(|(s, spec, cfg)| *s == seed && **spec == cell.spec && *cfg == stripped)
+            .position(|(s, spec, cfg)| *s == unit.seed && **spec == unit.spec && *cfg == stripped)
         {
             groups[g].push(u);
         } else {
-            keys.push((seed, &cell.spec, stripped));
+            keys.push((unit.seed, &unit.spec, stripped));
             groups.push(vec![u]);
         }
     }
@@ -364,5 +536,121 @@ impl CampaignTiming {
     /// Simulation events per wall second.
     pub fn events_per_second(&self) -> f64 {
         self.events as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A spec whose generator panics (empty pattern mix indexes `mix[0]`),
+    /// standing in for any mid-cell worker panic.
+    fn poisoned_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            mix: Vec::new(),
+            ..WorkloadSpec::named("water-sp").unwrap()
+        }
+    }
+
+    fn opts(jobs: usize) -> Campaign {
+        Campaign {
+            jobs,
+            progress: false,
+            warmup_checkpoint: None,
+        }
+    }
+
+    #[test]
+    fn poisoned_cell_is_caught_and_identified() {
+        let good = WorkloadSpec::named("water-sp").unwrap();
+        let cells = vec![
+            Cell::new("good-a", good.clone(), SystemConfig::ftdircmp(), 1),
+            Cell::new("poisoned", poisoned_spec(), SystemConfig::ftdircmp(), 2),
+            Cell::new("good-b", good, SystemConfig::ftdircmp(), 1),
+        ];
+        for jobs in [1, 3] {
+            let results = run_campaign_caught(&cells, &opts(jobs));
+            assert_eq!(results.len(), 3);
+            assert!(results[0][0].is_ok(), "jobs={jobs}");
+            assert!(results[2][0].is_ok(), "jobs={jobs}");
+            for (seed, r) in results[1].iter().enumerate() {
+                match r {
+                    Err(CellError::Panicked {
+                        label,
+                        spec,
+                        seed: s,
+                        ..
+                    }) => {
+                        assert_eq!(label, "poisoned");
+                        assert_eq!(spec, "water-sp");
+                        assert_eq!(*s, seed as u64);
+                    }
+                    other => panic!("expected Panicked, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_warmup_group_falls_back_per_unit() {
+        // Both members share a (spec, seed, config-modulo-faults) group; the
+        // warmup panics, so each member reports its own typed error.
+        let mut faulty = SystemConfig::ftdircmp().with_fault_rate(125.0);
+        faulty.watchdog_cycles = 3_000_000;
+        let cells = vec![
+            Cell::new("p/ff", poisoned_spec(), SystemConfig::ftdircmp(), 1),
+            Cell::new("p/ft", poisoned_spec(), faulty, 1),
+        ];
+        let results = run_campaign_caught(
+            &cells,
+            &Campaign {
+                jobs: 2,
+                progress: false,
+                warmup_checkpoint: Some(60.0),
+            },
+        );
+        for r in results.iter().flatten() {
+            assert!(
+                matches!(r, Err(CellError::Panicked { .. })),
+                "expected Panicked, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign unit panicked")]
+    fn fallible_path_propagates_panics_with_cell_identity() {
+        let cells = vec![Cell::new(
+            "poisoned",
+            poisoned_spec(),
+            SystemConfig::ftdircmp(),
+            1,
+        )];
+        let _ = run_campaign_fallible(&cells, &opts(1));
+    }
+
+    #[test]
+    fn sparse_unit_list_matches_full_campaign() {
+        // Resuming from a sparse unit list must reproduce the exact
+        // per-unit results of the full run — the daemon's resume contract.
+        let spec = WorkloadSpec::named("water-sp").unwrap();
+        let units: Vec<Unit> = (0..3)
+            .map(|seed| Unit {
+                label: format!("u{seed}"),
+                spec: spec.clone(),
+                config: SystemConfig::ftdircmp(),
+                seed,
+            })
+            .collect();
+        let full = run_units_caught(&units, &opts(1));
+        let sparse = run_units_caught(&[units[2].clone(), units[0].clone()], &opts(1));
+        assert_eq!(
+            full[2].as_ref().unwrap().cycles,
+            sparse[0].as_ref().unwrap().cycles
+        );
+        assert_eq!(
+            full[0].as_ref().unwrap().cycles,
+            sparse[1].as_ref().unwrap().cycles
+        );
     }
 }

@@ -1,0 +1,542 @@
+//! Job types the daemon accepts, their wire format, and the deterministic
+//! expansion of a campaign submission into simulation units.
+//!
+//! A submission is one JSON object with a `kind` discriminator:
+//!
+//! * `campaign` — a (workload × config × seed) grid run through the
+//!   parallel checkpoint-fork campaign runner;
+//! * `fault-search` — a guided fault-schedule exploration
+//!   (`ftdircmp-explore`) whose minimized repros land in the result store;
+//! * `replay` — replays an embedded self-contained repro file;
+//! * `poison` — a test fixture that panics inside the worker, used by the
+//!   quarantine integration tests (harmless: the daemon catches it).
+//!
+//! [`JobSpec::from_json`] validates everything up front (unknown
+//! benchmarks, bad protocols, empty grids) so a malformed submission is a
+//! typed client error, never a worker crash.
+
+use ftdircmp_bench::campaign::Unit;
+use ftdircmp_core::{ProtocolVariant, SystemConfig};
+use ftdircmp_workloads::WorkloadSpec;
+
+use crate::json::Json;
+
+/// Default cap on `seeds` per cell (guards against typo'd grids hogging
+/// the queue).
+pub const MAX_SEEDS: u64 = 64;
+
+/// A validated job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-supplied display label.
+    pub label: String,
+    /// Scheduling priority: higher runs first; FIFO within a priority.
+    pub priority: i64,
+    /// What to run.
+    pub kind: JobKind,
+}
+
+/// The job payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// A campaign grid.
+    Campaign(CampaignSpec),
+    /// A guided fault-schedule exploration.
+    FaultSearch(FaultSearchSpec),
+    /// Replay an embedded repro (RON text, see `ftdircmp-explore`).
+    Replay {
+        /// The repro file content.
+        repro: String,
+    },
+    /// Test fixture: panics in the worker; the daemon must quarantine it.
+    Poison,
+}
+
+/// A campaign grid: every workload request under every configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Workload requests (`"name"` or `"name:ops=N"`, see
+    /// [`WorkloadSpec::parse`]).
+    pub specs: Vec<String>,
+    /// Configuration axis.
+    pub configs: Vec<ConfigSpec>,
+    /// Seeds per cell.
+    pub seeds: u64,
+    /// Checkpoint-fork warmup threshold (percent), if requested.
+    pub warmup_checkpoint: Option<f64>,
+}
+
+/// One point on a campaign's configuration axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigSpec {
+    /// `"dircmp"` or `"ftdircmp"`.
+    pub protocol: String,
+    /// Messages lost per million (0 = fault-free).
+    pub fault_rate: f64,
+    /// Deadlock watchdog override, cycles.
+    pub watchdog_cycles: Option<u64>,
+    /// Event-queue schedule seed override.
+    pub schedule_seed: Option<u64>,
+}
+
+/// A guided fault-schedule exploration request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSearchSpec {
+    /// `"dircmp"` or `"ftdircmp"`.
+    pub protocol: String,
+    /// Workload requests.
+    pub specs: Vec<String>,
+    /// Schedule seeds to sweep.
+    pub schedule_seeds: Vec<u64>,
+    /// Drop candidates per (workload, schedule seed) cell.
+    pub drop_budget: usize,
+    /// Probe budget for the shrinker.
+    pub shrink_runs: usize,
+    /// Repro cap per cell.
+    pub max_repros_per_cell: usize,
+}
+
+fn parse_protocol(name: &str) -> Result<ProtocolVariant, String> {
+    match name {
+        "dircmp" => Ok(ProtocolVariant::DirCmp),
+        "ftdircmp" => Ok(ProtocolVariant::FtDirCmp),
+        other => Err(format!(
+            "unknown protocol {other:?} (expected \"dircmp\" or \"ftdircmp\")"
+        )),
+    }
+}
+
+impl ConfigSpec {
+    /// Builds the effective [`SystemConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown protocol names.
+    pub fn to_config(&self) -> Result<SystemConfig, String> {
+        let mut cfg = match parse_protocol(&self.protocol)? {
+            ProtocolVariant::DirCmp => SystemConfig::dircmp(),
+            ProtocolVariant::FtDirCmp => SystemConfig::ftdircmp(),
+        };
+        if self.fault_rate > 0.0 {
+            cfg = cfg.with_fault_rate(self.fault_rate);
+        }
+        if let Some(w) = self.watchdog_cycles {
+            cfg.watchdog_cycles = w;
+        }
+        if let Some(ss) = self.schedule_seed {
+            cfg = cfg.with_schedule_seed(ss);
+        }
+        Ok(cfg)
+    }
+
+    /// Deterministic display label for cells under this configuration.
+    pub fn label(&self) -> String {
+        let mut l = self.protocol.clone();
+        if self.fault_rate > 0.0 {
+            l.push_str(&format!("-{:.0}", self.fault_rate));
+        }
+        if let Some(ss) = self.schedule_seed {
+            l.push_str(&format!("-ss{ss}"));
+        }
+        l
+    }
+}
+
+impl CampaignSpec {
+    /// Expands the grid into campaign units in deterministic order:
+    /// workload-major, then config, then seed — the order unit indices in
+    /// the result store refer to, across every run and resume.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown workloads/protocols and empty or oversized grids.
+    pub fn units(&self) -> Result<Vec<Unit>, String> {
+        if self.specs.is_empty() {
+            return Err("campaign has no workloads".to_string());
+        }
+        if self.configs.is_empty() {
+            return Err("campaign has no configurations".to_string());
+        }
+        if self.seeds == 0 {
+            return Err("campaign has zero seeds".to_string());
+        }
+        if self.seeds > MAX_SEEDS {
+            return Err(format!("seeds {} exceeds cap {MAX_SEEDS}", self.seeds));
+        }
+        let specs: Vec<WorkloadSpec> = self
+            .specs
+            .iter()
+            .map(|r| WorkloadSpec::parse(r))
+            .collect::<Result<_, _>>()?;
+        let configs: Vec<SystemConfig> = self
+            .configs
+            .iter()
+            .map(ConfigSpec::to_config)
+            .collect::<Result<_, _>>()?;
+        let mut units = Vec::with_capacity(specs.len() * configs.len() * self.seeds as usize);
+        for spec in &specs {
+            for (config, cspec) in configs.iter().zip(&self.configs) {
+                for seed in 0..self.seeds {
+                    units.push(Unit {
+                        label: format!("{}/{}", spec.name, cspec.label()),
+                        spec: spec.clone(),
+                        config: config.clone(),
+                        seed,
+                    });
+                }
+            }
+        }
+        Ok(units)
+    }
+}
+
+impl FaultSearchSpec {
+    /// Validates the request and resolves its workload specs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown workloads/protocols and empty sweeps.
+    pub fn resolve(&self) -> Result<(ProtocolVariant, Vec<WorkloadSpec>), String> {
+        let protocol = parse_protocol(&self.protocol)?;
+        if self.specs.is_empty() {
+            return Err("fault-search has no workloads".to_string());
+        }
+        if self.schedule_seeds.is_empty() {
+            return Err("fault-search has no schedule seeds".to_string());
+        }
+        let specs = self
+            .specs
+            .iter()
+            .map(|r| WorkloadSpec::parse(r))
+            .collect::<Result<_, _>>()?;
+        Ok((protocol, specs))
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a submission.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing description of the first problem found.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let kind_name = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("job missing string field \"kind\"")?;
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or(kind_name)
+            .to_string();
+        let priority = v
+            .get("priority")
+            .map(|p| {
+                p.as_f64()
+                    .filter(|f| f.fract() == 0.0 && f.abs() <= 1e9)
+                    .map(|f| f as i64)
+                    .ok_or("field \"priority\": expected a small integer")
+            })
+            .transpose()?
+            .unwrap_or(0);
+        let strings = |key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("job missing array field {key:?}"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("field {key:?}: expected strings"))
+                })
+                .collect()
+        };
+        let kind = match kind_name {
+            "campaign" => {
+                let configs = v
+                    .get("configs")
+                    .and_then(Json::as_arr)
+                    .ok_or("job missing array field \"configs\"")?
+                    .iter()
+                    .map(|c| {
+                        Ok(ConfigSpec {
+                            protocol: c
+                                .get("protocol")
+                                .and_then(Json::as_str)
+                                .ok_or("config missing string field \"protocol\"")?
+                                .to_string(),
+                            fault_rate: c
+                                .get("fault_rate")
+                                .map(|f| f.as_f64().ok_or("field \"fault_rate\": expected number"))
+                                .transpose()?
+                                .unwrap_or(0.0),
+                            watchdog_cycles: c
+                                .get("watchdog_cycles")
+                                .map(|w| {
+                                    w.as_u64()
+                                        .ok_or("field \"watchdog_cycles\": expected integer")
+                                })
+                                .transpose()?,
+                            schedule_seed: c
+                                .get("schedule_seed")
+                                .map(|s| {
+                                    s.as_u64()
+                                        .ok_or("field \"schedule_seed\": expected integer")
+                                })
+                                .transpose()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, &str>>()?;
+                let spec = CampaignSpec {
+                    specs: strings("specs")?,
+                    configs,
+                    seeds: v
+                        .get("seeds")
+                        .map(|s| s.as_u64().ok_or("field \"seeds\": expected integer"))
+                        .transpose()?
+                        .unwrap_or(1),
+                    warmup_checkpoint: v
+                        .get("warmup_checkpoint")
+                        .filter(|w| **w != Json::Null)
+                        .map(|w| {
+                            w.as_f64()
+                                .filter(|p| (0.0..=100.0).contains(p))
+                                .ok_or("field \"warmup_checkpoint\": expected 0..=100")
+                        })
+                        .transpose()?,
+                };
+                spec.units()?; // validate the whole grid up front
+                JobKind::Campaign(spec)
+            }
+            "fault-search" => {
+                let spec = FaultSearchSpec {
+                    protocol: v
+                        .get("protocol")
+                        .and_then(Json::as_str)
+                        .unwrap_or("ftdircmp")
+                        .to_string(),
+                    specs: strings("specs")?,
+                    schedule_seeds: v
+                        .get("schedule_seeds")
+                        .and_then(Json::as_arr)
+                        .map(|seeds| {
+                            seeds
+                                .iter()
+                                .map(|s| {
+                                    s.as_u64()
+                                        .ok_or("field \"schedule_seeds\": expected integers")
+                                })
+                                .collect::<Result<Vec<_>, _>>()
+                        })
+                        .transpose()?
+                        .unwrap_or_else(|| vec![0]),
+                    drop_budget: v
+                        .get("drop_budget")
+                        .map(|d| d.as_u64().ok_or("field \"drop_budget\": expected integer"))
+                        .transpose()?
+                        .unwrap_or(8) as usize,
+                    shrink_runs: v
+                        .get("shrink_runs")
+                        .map(|d| d.as_u64().ok_or("field \"shrink_runs\": expected integer"))
+                        .transpose()?
+                        .unwrap_or(100) as usize,
+                    max_repros_per_cell: v
+                        .get("max_repros_per_cell")
+                        .map(|d| {
+                            d.as_u64()
+                                .ok_or("field \"max_repros_per_cell\": expected integer")
+                        })
+                        .transpose()?
+                        .unwrap_or(1) as usize,
+                };
+                spec.resolve()?;
+                JobKind::FaultSearch(spec)
+            }
+            "replay" => JobKind::Replay {
+                repro: v
+                    .get("repro")
+                    .and_then(Json::as_str)
+                    .ok_or("replay job missing string field \"repro\"")?
+                    .to_string(),
+            },
+            "poison" => JobKind::Poison,
+            other => {
+                return Err(format!(
+                    "unknown job kind {other:?} (expected campaign, fault-search, replay)"
+                ))
+            }
+        };
+        Ok(JobSpec {
+            label,
+            priority,
+            kind,
+        })
+    }
+
+    /// Canonical JSON for the journal (round-trips through
+    /// [`JobSpec::from_json`]).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = Vec::new();
+        match &self.kind {
+            JobKind::Campaign(c) => {
+                pairs.push(("kind", Json::str("campaign")));
+                pairs.push(("label", Json::str(&self.label)));
+                pairs.push(("priority", Json::Num(self.priority as f64)));
+                pairs.push(("specs", Json::Arr(c.specs.iter().map(Json::str).collect())));
+                pairs.push((
+                    "configs",
+                    Json::Arr(
+                        c.configs
+                            .iter()
+                            .map(|cfg| {
+                                let mut p = vec![
+                                    ("protocol".to_string(), Json::str(&cfg.protocol)),
+                                    ("fault_rate".to_string(), Json::Num(cfg.fault_rate)),
+                                ];
+                                if let Some(w) = cfg.watchdog_cycles {
+                                    p.push(("watchdog_cycles".to_string(), Json::num_u64(w)));
+                                }
+                                if let Some(ss) = cfg.schedule_seed {
+                                    p.push(("schedule_seed".to_string(), Json::num_u64(ss)));
+                                }
+                                Json::Obj(p)
+                            })
+                            .collect(),
+                    ),
+                ));
+                pairs.push(("seeds", Json::num_u64(c.seeds)));
+                if let Some(w) = c.warmup_checkpoint {
+                    pairs.push(("warmup_checkpoint", Json::Num(w)));
+                }
+            }
+            JobKind::FaultSearch(f) => {
+                pairs.push(("kind", Json::str("fault-search")));
+                pairs.push(("label", Json::str(&self.label)));
+                pairs.push(("priority", Json::Num(self.priority as f64)));
+                pairs.push(("protocol", Json::str(&f.protocol)));
+                pairs.push(("specs", Json::Arr(f.specs.iter().map(Json::str).collect())));
+                pairs.push((
+                    "schedule_seeds",
+                    Json::Arr(f.schedule_seeds.iter().map(|&s| Json::num_u64(s)).collect()),
+                ));
+                pairs.push(("drop_budget", Json::num_u64(f.drop_budget as u64)));
+                pairs.push(("shrink_runs", Json::num_u64(f.shrink_runs as u64)));
+                pairs.push((
+                    "max_repros_per_cell",
+                    Json::num_u64(f.max_repros_per_cell as u64),
+                ));
+            }
+            JobKind::Replay { repro } => {
+                pairs.push(("kind", Json::str("replay")));
+                pairs.push(("label", Json::str(&self.label)));
+                pairs.push(("priority", Json::Num(self.priority as f64)));
+                pairs.push(("repro", Json::str(repro)));
+            }
+            JobKind::Poison => {
+                pairs.push(("kind", Json::str("poison")));
+                pairs.push(("label", Json::str(&self.label)));
+                pairs.push(("priority", Json::Num(self.priority as f64)));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Number of simulation units this job expands to (1 for non-campaign
+    /// kinds: they progress as a single unit).
+    pub fn total_units(&self) -> usize {
+        match &self.kind {
+            JobKind::Campaign(c) => c.units().map_or(0, |u| u.len()),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign_json() -> Json {
+        Json::parse(
+            r#"{"kind":"campaign","label":"tiny","priority":3,
+                "specs":["barnes:ops=40"],
+                "configs":[{"protocol":"dircmp"},
+                           {"protocol":"ftdircmp","fault_rate":125,"watchdog_cycles":3000000}],
+                "seeds":2}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_roundtrips_and_expands_deterministically() {
+        let job = JobSpec::from_json(&tiny_campaign_json()).unwrap();
+        assert_eq!(job.priority, 3);
+        assert_eq!(job.total_units(), 4);
+        let JobKind::Campaign(c) = &job.kind else {
+            panic!("expected campaign")
+        };
+        let units = c.units().unwrap();
+        assert_eq!(units[0].label, "barnes/dircmp");
+        assert_eq!(units[0].seed, 0);
+        assert_eq!(units[1].seed, 1);
+        assert_eq!(units[2].label, "barnes/ftdircmp-125");
+        assert_eq!(units[2].config.watchdog_cycles, 3_000_000);
+        assert_eq!(units[0].spec.ops_per_core, 40);
+
+        let back = JobSpec::from_json(&job.to_json()).unwrap();
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    fn submissions_are_validated_up_front() {
+        for (patch, needle) in [
+            (
+                r#"{"kind":"campaign","specs":[],"configs":[{"protocol":"dircmp"}]}"#,
+                "no workloads",
+            ),
+            (
+                r#"{"kind":"campaign","specs":["nope"],"configs":[{"protocol":"dircmp"}]}"#,
+                "unknown benchmark",
+            ),
+            (
+                r#"{"kind":"campaign","specs":["fft"],"configs":[{"protocol":"zesty"}]}"#,
+                "unknown protocol",
+            ),
+            (
+                r#"{"kind":"campaign","specs":["fft"],"configs":[{"protocol":"dircmp"}],"seeds":0}"#,
+                "zero seeds",
+            ),
+            (r#"{"kind":"sideways"}"#, "unknown job kind"),
+            (r#"{"specs":[]}"#, "missing string field"),
+            (r#"{"kind":"replay"}"#, "missing string field \"repro\""),
+            (
+                r#"{"kind":"fault-search","specs":["fft"],"schedule_seeds":["x"]}"#,
+                "expected integers",
+            ),
+        ] {
+            let e = JobSpec::from_json(&Json::parse(patch).unwrap()).unwrap_err();
+            assert!(e.contains(needle), "{patch}: {e}");
+        }
+    }
+
+    #[test]
+    fn fault_search_roundtrips() {
+        let v = Json::parse(
+            r#"{"kind":"fault-search","label":"fs","specs":["water-nsq:ops=50"],
+                "schedule_seeds":[0,1],"drop_budget":4,"shrink_runs":50}"#,
+        )
+        .unwrap();
+        let job = JobSpec::from_json(&v).unwrap();
+        let back = JobSpec::from_json(&job.to_json()).unwrap();
+        assert_eq!(back, job);
+        assert_eq!(job.total_units(), 1);
+    }
+
+    #[test]
+    fn seeds_cap_is_enforced() {
+        let v = Json::parse(
+            r#"{"kind":"campaign","specs":["fft"],"configs":[{"protocol":"dircmp"}],"seeds":65}"#,
+        )
+        .unwrap();
+        assert!(JobSpec::from_json(&v).unwrap_err().contains("cap"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Fan-out of streamed progress events to subscribed connections.
+//!
+//! Each client connection that issues `watch` registers an
+//! [`std::sync::mpsc::Sender`] here; a per-connection writer thread owns
+//! the socket and drains the channel, so the executor never blocks on a
+//! slow client — a wedged connection's channel fills its buffer and is
+//! dropped from the subscription list the next time a send fails
+//! (channel closed when the writer thread exits).
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+struct Sub {
+    /// `None` subscribes to every job's events.
+    job: Option<String>,
+    tx: Sender<String>,
+}
+
+/// Subscription registry shared by the server and the executor.
+#[derive(Default)]
+pub struct Notifier {
+    subs: Mutex<Vec<Sub>>,
+}
+
+impl Notifier {
+    /// Creates an empty registry.
+    pub fn new() -> Notifier {
+        Notifier::default()
+    }
+
+    /// Registers a subscriber for one job's events (or all jobs' when
+    /// `job` is `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscription mutex is poisoned (never: no panics
+    /// under it).
+    pub fn subscribe(&self, job: Option<String>, tx: Sender<String>) {
+        self.subs.lock().unwrap().push(Sub { job, tx });
+    }
+
+    /// Sends `event` (serialized once) to every live subscriber of
+    /// `job_id`; subscribers whose connection has gone away are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscription mutex is poisoned (never: no panics
+    /// under it).
+    pub fn publish(&self, job_id: &str, event: &Json) {
+        let line = event.to_string();
+        let mut subs = self.subs.lock().unwrap();
+        subs.retain(|s| {
+            if s.job.as_deref().is_some_and(|j| j != job_id) {
+                return true; // not interested, but still alive
+            }
+            s.tx.send(line.clone()).is_ok()
+        });
+    }
+}
+
+/// Builds a progress event line.
+pub fn progress_event(job_id: &str, done_units: usize, total_units: usize) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("progress")),
+        ("id", Json::str(job_id)),
+        ("done_units", Json::num_u64(done_units as u64)),
+        ("total_units", Json::num_u64(total_units as u64)),
+    ])
+}
+
+/// Builds a job-completion event line.
+pub fn done_event(job_id: &str, outcome: &str) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("done")),
+        ("id", Json::str(job_id)),
+        ("outcome", Json::str(outcome)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn publish_routes_by_job_and_drops_dead_subscribers() {
+        let n = Notifier::new();
+        let (tx_a, rx_a) = mpsc::channel();
+        let (tx_all, rx_all) = mpsc::channel();
+        let (tx_dead, rx_dead) = mpsc::channel();
+        n.subscribe(Some("j000001".to_string()), tx_a);
+        n.subscribe(None, tx_all);
+        n.subscribe(Some("j000002".to_string()), tx_dead);
+        drop(rx_dead);
+
+        n.publish("j000001", &progress_event("j000001", 1, 4));
+        n.publish("j000002", &done_event("j000002", "ok"));
+
+        let got = rx_a.try_recv().unwrap();
+        assert!(got.contains("\"done_units\":1"), "{got}");
+        assert!(rx_a.try_recv().is_err(), "job-scoped sub saw another job");
+        assert_eq!(rx_all.try_iter().count(), 2);
+
+        // The dead j000002 subscriber was pruned on the failed send.
+        n.publish("j000002", &done_event("j000002", "ok"));
+        assert_eq!(rx_all.try_iter().count(), 1);
+    }
+}

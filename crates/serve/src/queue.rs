@@ -1,0 +1,452 @@
+//! Persistent work queue backed by an append-only journal.
+//!
+//! Every accepted submission is appended (and fsynced) to
+//! `journal.jsonl` as `{"op":"submit","id":...,"job":{...}}` before the
+//! client sees an acknowledgement; every finished job appends
+//! `{"op":"done","id":...,"outcome":...}` after its summary has been
+//! renamed into place. On boot the journal's valid prefix is replayed:
+//! jobs with a submit but no done record (and no summary on disk — the
+//! summary rename is the real commit point, the done record a fast-path
+//! hint) are re-enqueued, so a `kill -9` mid-campaign costs at most the
+//! units whose records never reached disk.
+//!
+//! Scheduling is (priority descending, submission order ascending).
+//! Backpressure: once `max_pending` jobs are queued, further submissions
+//! are rejected with a typed error instead of growing without bound.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::{Condvar, Mutex};
+
+use crate::job::JobSpec;
+use crate::json::Json;
+use crate::store::Store;
+
+/// Lifecycle of a job as seen by `status`/`list`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for the executor.
+    Pending,
+    /// Currently executing.
+    Running,
+    /// Finished with the given outcome (`ok`, `failed`, `quarantined`).
+    Done(String),
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn name(&self) -> &str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+        }
+    }
+}
+
+/// A job handed to the executor.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Stable job id (`j000001`, ...).
+    pub id: String,
+    /// The validated submission.
+    pub spec: JobSpec,
+}
+
+#[derive(Debug)]
+struct JobInfo {
+    spec: JobSpec,
+    seq: u64,
+    state: JobState,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: BTreeMap<String, JobInfo>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+/// The queue: journal + in-memory scheduling state.
+#[derive(Debug)]
+pub struct Queue {
+    store: Store,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    max_pending: usize,
+}
+
+impl Queue {
+    /// Opens the queue, replaying the journal and re-enqueueing every job
+    /// that was submitted but never durably finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn open(store: Store, max_pending: usize) -> std::io::Result<Queue> {
+        let journal = store.journal_path();
+        let loaded = crate::store::load_prefix(&journal)?;
+        // Cut a torn tail so our own appends start on a line boundary.
+        crate::store::truncate_to(&journal, loaded.valid_len)?;
+
+        let mut jobs: BTreeMap<String, JobInfo> = BTreeMap::new();
+        let mut next_seq = 1u64;
+        for rec in &loaded.records {
+            let (Some(op), Some(id)) = (
+                rec.get("op").and_then(Json::as_str),
+                rec.get("id").and_then(Json::as_str),
+            ) else {
+                continue;
+            };
+            match op {
+                "submit" => {
+                    let Some(job) = rec.get("job") else { continue };
+                    let Ok(spec) = JobSpec::from_json(job) else {
+                        // A journaled job that no longer validates (e.g. a
+                        // workload renamed between versions) is dropped
+                        // rather than wedging the queue.
+                        continue;
+                    };
+                    if let Some(seq) = id.strip_prefix('j').and_then(|n| n.parse::<u64>().ok()) {
+                        next_seq = next_seq.max(seq + 1);
+                    }
+                    let seq = jobs.len() as u64;
+                    jobs.insert(
+                        id.to_string(),
+                        JobInfo {
+                            spec,
+                            seq,
+                            state: JobState::Pending,
+                        },
+                    );
+                }
+                "done" => {
+                    if let Some(info) = jobs.get_mut(id) {
+                        let outcome = rec
+                            .get("outcome")
+                            .and_then(Json::as_str)
+                            .unwrap_or("ok")
+                            .to_string();
+                        info.state = JobState::Done(outcome);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // The summary rename is the true commit point: a job whose summary
+        // landed but whose done record was lost to the crash is still done.
+        for (id, info) in &mut jobs {
+            if info.state != JobState::Pending {
+                continue;
+            }
+            if store.is_done(id) {
+                info.state = JobState::Done("ok".to_string());
+            }
+        }
+        Ok(Queue {
+            store,
+            state: Mutex::new(QueueState {
+                jobs,
+                next_seq,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            max_pending,
+        })
+    }
+
+    /// The store this queue journals into.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Accepts a submission: journals it durably, then schedules it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects when the pending backlog is at `max_pending`
+    /// (backpressure) or when the journal append fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn submit(&self, spec: JobSpec) -> Result<String, String> {
+        let mut st = self.state.lock().unwrap();
+        let backlog = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Pending)
+            .count();
+        if backlog >= self.max_pending {
+            return Err(format!(
+                "queue full: {backlog} pending jobs (max {})",
+                self.max_pending
+            ));
+        }
+        let id = format!("j{:06}", st.next_seq);
+        st.next_seq += 1;
+        let rec = Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("id", Json::str(&id)),
+            ("job", spec.to_json()),
+        ]);
+        self.append_journal(&rec)
+            .map_err(|e| format!("journal append failed: {e}"))?;
+        let seq = st.jobs.len() as u64;
+        st.jobs.insert(
+            id.clone(),
+            JobInfo {
+                spec,
+                seq,
+                state: JobState::Pending,
+            },
+        );
+        drop(st);
+        self.cond.notify_all();
+        Ok(id)
+    }
+
+    /// Blocks until a job is available (highest priority first, FIFO
+    /// within a priority) or the queue is shut down (`None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn take_next(&self) -> Option<QueuedJob> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            let best = st
+                .jobs
+                .iter()
+                .filter(|(_, info)| info.state == JobState::Pending)
+                .max_by_key(|(_, info)| (info.spec.priority, std::cmp::Reverse(info.seq)))
+                .map(|(id, _)| id.clone());
+            if let Some(id) = best {
+                let info = st.jobs.get_mut(&id).expect("job exists");
+                info.state = JobState::Running;
+                return Some(QueuedJob {
+                    id,
+                    spec: info.spec.clone(),
+                });
+            }
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Records a job's outcome durably and updates its visible state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn mark_done(&self, id: &str, outcome: &str) {
+        let rec = Json::obj(vec![
+            ("op", Json::str("done")),
+            ("id", Json::str(id)),
+            ("outcome", Json::str(outcome)),
+        ]);
+        // The summary rename already committed the result; a failed hint
+        // append only costs a redundant (idempotent) re-run check on boot.
+        let _ = self.append_journal(&rec);
+        let mut st = self.state.lock().unwrap();
+        if let Some(info) = st.jobs.get_mut(id) {
+            info.state = JobState::Done(outcome.to_string());
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Snapshot of one job: `(state, label, priority)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn status(&self, id: &str) -> Option<(JobState, String, i64)> {
+        let st = self.state.lock().unwrap();
+        st.jobs.get(id).map(|info| {
+            (
+                info.state.clone(),
+                info.spec.label.clone(),
+                info.spec.priority,
+            )
+        })
+    }
+
+    /// Snapshot of every job in id order: `(id, state, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn list(&self) -> Vec<(String, JobState, String)> {
+        let st = self.state.lock().unwrap();
+        st.jobs
+            .iter()
+            .map(|(id, info)| (id.clone(), info.state.clone(), info.spec.label.clone()))
+            .collect()
+    }
+
+    /// Count of jobs not yet done — the executor drains until this is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn open_jobs(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.jobs
+            .values()
+            .filter(|j| !matches!(j.state, JobState::Done(_)))
+            .count()
+    }
+
+    /// Wakes the executor and makes `take_next` return `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state mutex is poisoned (never: no panics under it).
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.cond.notify_all();
+    }
+
+    fn append_journal(&self, rec: &Json) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.store.journal_path())?;
+        f.write_all(rec.to_string().as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("ftdircmp-serve-queue-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(&dir).unwrap()
+    }
+
+    fn job(label: &str, priority: i64) -> JobSpec {
+        JobSpec {
+            label: label.to_string(),
+            priority,
+            kind: JobKind::Poison,
+        }
+    }
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let store = tmp_store("order");
+        let q = Queue::open(store, 16).unwrap();
+        let a = q.submit(job("a", 0)).unwrap();
+        let b = q.submit(job("b", 5)).unwrap();
+        let c = q.submit(job("c", 5)).unwrap();
+        assert_eq!(q.take_next().unwrap().id, b);
+        assert_eq!(q.take_next().unwrap().id, c);
+        assert_eq!(q.take_next().unwrap().id, a);
+        let _ = std::fs::remove_dir_all(q.store().root());
+    }
+
+    #[test]
+    fn replay_reenqueues_unfinished_jobs_only() {
+        let store = tmp_store("replay");
+        let root = store.root().to_path_buf();
+        {
+            let q = Queue::open(store, 16).unwrap();
+            let a = q.submit(job("a", 0)).unwrap();
+            let _b = q.submit(job("b", 0)).unwrap();
+            let taken = q.take_next().unwrap();
+            assert_eq!(taken.id, a);
+            q.store().write_summary(&a, "{}\n").unwrap();
+            q.mark_done(&a, "ok");
+        }
+        let q2 = Queue::open(Store::open(&root).unwrap(), 16).unwrap();
+        assert_eq!(q2.open_jobs(), 1);
+        let next = q2.take_next().unwrap();
+        assert_eq!(next.id, "j000002");
+        // Fresh ids continue after the replayed ones.
+        let c = q2.submit(job("c", 0)).unwrap();
+        assert_eq!(c, "j000003");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn summary_presence_counts_as_done_without_done_record() {
+        let store = tmp_store("summary-done");
+        let root = store.root().to_path_buf();
+        {
+            let q = Queue::open(store, 16).unwrap();
+            let a = q.submit(job("a", 0)).unwrap();
+            let _ = q.take_next().unwrap();
+            // Crash after the summary rename but before the done hint.
+            q.store().write_summary(&a, "{}\n").unwrap();
+        }
+        let q2 = Queue::open(Store::open(&root).unwrap(), 16).unwrap();
+        assert_eq!(q2.open_jobs(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let store = tmp_store("full");
+        let q = Queue::open(store, 2).unwrap();
+        q.submit(job("a", 0)).unwrap();
+        q.submit(job("b", 0)).unwrap();
+        let err = q.submit(job("c", 0)).unwrap_err();
+        assert!(err.contains("queue full"), "{err}");
+        // Draining frees capacity.
+        let a = q.take_next().unwrap();
+        q.mark_done(&a.id, "ok");
+        q.submit(job("c", 0)).unwrap();
+        let _ = std::fs::remove_dir_all(q.store().root());
+    }
+
+    #[test]
+    fn torn_journal_tail_is_ignored_and_overwritten() {
+        let store = tmp_store("torn");
+        let root = store.root().to_path_buf();
+        {
+            let q = Queue::open(store, 16).unwrap();
+            q.submit(job("a", 0)).unwrap();
+        }
+        // Crash mid-append of a second submit.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(root.join("journal.jsonl"))
+                .unwrap();
+            std::io::Write::write_all(&mut f, b"{\"op\":\"sub").unwrap();
+        }
+        let q2 = Queue::open(Store::open(&root).unwrap(), 16).unwrap();
+        assert_eq!(q2.open_jobs(), 1);
+        let b = q2.submit(job("b", 0)).unwrap();
+        assert_eq!(b, "j000002");
+        // The journal is valid line-by-line again after the new append.
+        let reloaded = Queue::open(Store::open(&root).unwrap(), 16).unwrap();
+        assert_eq!(reloaded.open_jobs(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shutdown_unblocks_take_next() {
+        let store = tmp_store("shutdown");
+        let q = std::sync::Arc::new(Queue::open(store, 16).unwrap());
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.take_next());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        assert!(h.join().unwrap().is_none());
+        let _ = std::fs::remove_dir_all(q.store().root());
+    }
+}

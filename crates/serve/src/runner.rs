@@ -1,0 +1,436 @@
+//! Executes one job against the store.
+//!
+//! The daemon's executor thread and the synchronous `run-local`
+//! subcommand both come through [`execute_job`], so a campaign submitted
+//! over the socket produces byte-identical stored results to the same
+//! spec run locally — that equivalence is asserted by the CI smoke test.
+//!
+//! Campaign resume: before running anything the executor loads the job's
+//! unit-record journal and skips every unit whose record already reached
+//! disk. Checkpoint-fork results depend only on the unit itself (proven
+//! by `sparse_unit_list_matches_full_campaign` in `ftdircmp-bench`), so
+//! re-running the sparse remainder reproduces exactly what an
+//! uninterrupted run would have written.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ftdircmp_bench::campaign::{run_units_caught, Campaign, CellError, Unit};
+use ftdircmp_core::{RunError, SimReport};
+use ftdircmp_explore::{explore, repro::Repro, ExploreOptions};
+
+use crate::job::{JobKind, JobSpec};
+use crate::json::Json;
+use crate::store::Store;
+
+/// Best-effort text of a panic payload (`&str`/`String` payloads cover
+/// every `panic!` in this workspace).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-job execution outcome, stored in the summary and the journal.
+pub const OUTCOME_OK: &str = "ok";
+/// The job ran but produced an error (bad config, unreadable repro, ...).
+pub const OUTCOME_FAILED: &str = "failed";
+/// The job panicked in the worker; it is quarantined — marked done so the
+/// queue keeps serving, with the panic preserved in its summary.
+pub const OUTCOME_QUARANTINED: &str = "quarantined";
+
+/// Runs `spec` to completion (resuming from any units already on disk),
+/// writes the durable summary, and returns the outcome string.
+///
+/// `progress` is called with `(done_units, total_units)` after each batch
+/// of units is persisted.
+///
+/// # Errors
+///
+/// Propagates store I/O failures — the caller must NOT mark the job done
+/// in that case (its results never committed).
+pub fn execute_job(
+    store: &Store,
+    id: &str,
+    spec: &JobSpec,
+    jobs: usize,
+    progress: &dyn Fn(usize, usize),
+) -> std::io::Result<String> {
+    let (outcome, body) = match &spec.kind {
+        JobKind::Campaign(c) => run_campaign_job(store, id, c, jobs, progress)?,
+        JobKind::FaultSearch(f) => run_fault_search_job(store, id, f, jobs),
+        JobKind::Replay { repro } => run_replay_job(repro),
+        JobKind::Poison => {
+            let caught = catch_unwind(|| panic!("poison job executed"));
+            let msg = caught.expect_err("poison always panics");
+            (
+                OUTCOME_QUARANTINED.to_string(),
+                vec![("message".to_string(), Json::str(panic_text(&*msg)))],
+            )
+        }
+    };
+    let mut pairs = vec![
+        ("id".to_string(), Json::str(id)),
+        ("kind".to_string(), Json::str(kind_name(&spec.kind))),
+        ("label".to_string(), Json::str(&spec.label)),
+        ("outcome".to_string(), Json::str(&outcome)),
+    ];
+    pairs.extend(body);
+    let mut summary = Json::Obj(pairs).to_string();
+    summary.push('\n');
+    store.write_summary(id, &summary)?;
+    Ok(outcome)
+}
+
+fn kind_name(kind: &JobKind) -> &'static str {
+    match kind {
+        JobKind::Campaign(_) => "campaign",
+        JobKind::FaultSearch(_) => "fault-search",
+        JobKind::Replay { .. } => "replay",
+        JobKind::Poison => "poison",
+    }
+}
+
+type SummaryBody = Vec<(String, Json)>;
+
+fn run_campaign_job(
+    store: &Store,
+    id: &str,
+    c: &crate::job::CampaignSpec,
+    jobs: usize,
+    progress: &dyn Fn(usize, usize),
+) -> std::io::Result<(String, SummaryBody)> {
+    let units = match c.units() {
+        Ok(u) => u,
+        Err(e) => {
+            return Ok((
+                OUTCOME_FAILED.to_string(),
+                vec![("message".to_string(), Json::str(&e))],
+            ))
+        }
+    };
+    let total = units.len();
+
+    // Resume: records already on disk name units that never re-run.
+    let loaded = store.load_unit_records(id)?;
+    store.truncate_unit_records(id, loaded.valid_len)?;
+    let mut done: BTreeMap<u64, Json> = BTreeMap::new();
+    for rec in loaded.records {
+        if let Some(i) = rec.get("unit").and_then(Json::as_u64) {
+            if (i as usize) < total {
+                done.insert(i, rec);
+            }
+        }
+    }
+    progress(done.len(), total);
+
+    let opts = Campaign {
+        jobs: jobs.max(1),
+        progress: false,
+        warmup_checkpoint: c.warmup_checkpoint,
+    };
+    let pending: Vec<usize> = (0..total)
+        .filter(|i| !done.contains_key(&(*i as u64)))
+        .collect();
+    let batch_size = opts.jobs;
+    for batch in pending.chunks(batch_size) {
+        let batch_units: Vec<Unit> = batch.iter().map(|&i| units[i].clone()).collect();
+        let results = run_units_caught(&batch_units, &opts);
+        for (&i, result) in batch.iter().zip(&results) {
+            let rec = unit_record(i as u64, &units[i], result);
+            store.append_unit_record(id, &rec)?;
+            done.insert(i as u64, rec);
+        }
+        progress(done.len(), total);
+    }
+
+    let mut quarantined = false;
+    let mut failed = false;
+    for rec in done.values() {
+        match rec.get("status").and_then(Json::as_str) {
+            Some("panicked") => quarantined = true,
+            Some("error") => failed = true,
+            // "deadlock" is data, not a job failure: the paper's DirCMP
+            // baseline is *expected* to deadlock under message loss.
+            _ => {}
+        }
+    }
+    let outcome = if quarantined {
+        OUTCOME_QUARANTINED
+    } else if failed {
+        OUTCOME_FAILED
+    } else {
+        OUTCOME_OK
+    };
+    let body = vec![
+        ("total_units".to_string(), Json::num_u64(total as u64)),
+        ("units".to_string(), Json::Arr(done.into_values().collect())),
+    ];
+    Ok((outcome.to_string(), body))
+}
+
+/// Builds the durable record for one finished unit.
+fn unit_record(index: u64, unit: &Unit, result: &Result<SimReport, CellError>) -> Json {
+    let mut pairs = vec![
+        ("unit".to_string(), Json::num_u64(index)),
+        ("label".to_string(), Json::str(&unit.label)),
+        ("seed".to_string(), Json::num_u64(unit.seed)),
+    ];
+    match result {
+        Ok(report) => {
+            pairs.push(("status".to_string(), Json::str("ok")));
+            pairs.push(("cycles".to_string(), Json::num_u64(report.cycles)));
+            pairs.push(("events".to_string(), Json::num_u64(report.events)));
+            pairs.push((
+                "total_mem_ops".to_string(),
+                Json::num_u64(report.total_mem_ops),
+            ));
+            pairs.push((
+                "violations".to_string(),
+                Json::num_u64(report.violations.len() as u64),
+            ));
+            pairs.push((
+                "messages_lost".to_string(),
+                Json::num_u64(report.messages_lost),
+            ));
+        }
+        Err(CellError::Run(RunError::Deadlock {
+            at, blocked_cores, ..
+        })) => {
+            pairs.push(("status".to_string(), Json::str("deadlock")));
+            pairs.push(("at".to_string(), Json::num_u64(*at)));
+            pairs.push((
+                "blocked_cores".to_string(),
+                Json::num_u64(blocked_cores.len() as u64),
+            ));
+        }
+        Err(CellError::Run(RunError::InvalidConfig(msg))) => {
+            pairs.push(("status".to_string(), Json::str("error")));
+            pairs.push(("message".to_string(), Json::str(msg)));
+        }
+        Err(p @ CellError::Panicked { .. }) => {
+            pairs.push(("status".to_string(), Json::str("panicked")));
+            pairs.push(("message".to_string(), Json::str(p.to_string())));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+fn run_fault_search_job(
+    store: &Store,
+    id: &str,
+    f: &crate::job::FaultSearchSpec,
+    jobs: usize,
+) -> (String, SummaryBody) {
+    let (protocol, specs) = match f.resolve() {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                OUTCOME_FAILED.to_string(),
+                vec![("message".to_string(), Json::str(&e))],
+            )
+        }
+    };
+    let mut opts = ExploreOptions::new(protocol);
+    opts.specs = specs;
+    opts.schedule_seeds.clone_from(&f.schedule_seeds);
+    opts.drop_budget = f.drop_budget;
+    opts.shrink_runs = f.shrink_runs;
+    opts.max_repros_per_cell = f.max_repros_per_cell;
+    opts.jobs = jobs.max(1);
+    opts.out_dir = Some(store.repro_dir(id));
+    let caught = catch_unwind(AssertUnwindSafe(|| explore(&opts)));
+    match caught {
+        Ok(report) => {
+            let failures = report
+                .failures
+                .iter()
+                .map(|fl| {
+                    Json::obj(vec![
+                        ("workload", Json::str(&fl.workload)),
+                        ("schedule_seed", Json::num_u64(fl.schedule_seed)),
+                        ("kind", Json::str(fl.failure.kind.label())),
+                        ("detail", Json::str(&fl.failure.detail)),
+                        ("drops_before", Json::num_u64(fl.shrink.drops_before as u64)),
+                        ("drops_after", Json::num_u64(fl.shrink.drops_after as u64)),
+                    ])
+                })
+                .collect();
+            let repros = report
+                .repro_paths
+                .iter()
+                .map(|p| Json::str(p.display().to_string()))
+                .collect();
+            (
+                OUTCOME_OK.to_string(),
+                vec![
+                    (
+                        "reference_runs".to_string(),
+                        Json::num_u64(report.reference_runs as u64),
+                    ),
+                    (
+                        "fault_runs".to_string(),
+                        Json::num_u64(report.fault_runs as u64),
+                    ),
+                    (
+                        "failing_cells".to_string(),
+                        Json::num_u64(report.failing_cells as u64),
+                    ),
+                    ("failures".to_string(), Json::Arr(failures)),
+                    ("repros".to_string(), Json::Arr(repros)),
+                ],
+            )
+        }
+        Err(panic) => (
+            OUTCOME_QUARANTINED.to_string(),
+            vec![("message".to_string(), Json::str(panic_text(&*panic)))],
+        ),
+    }
+}
+
+fn run_replay_job(repro_text: &str) -> (String, SummaryBody) {
+    let repro = match Repro::from_ron(repro_text) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                OUTCOME_FAILED.to_string(),
+                vec![("message".to_string(), Json::str(&e))],
+            )
+        }
+    };
+    let caught = catch_unwind(AssertUnwindSafe(|| repro.replay()));
+    match caught {
+        Ok(Some(failure)) => (
+            OUTCOME_OK.to_string(),
+            vec![
+                ("reproduced".to_string(), Json::Bool(true)),
+                ("failure_kind".to_string(), Json::str(failure.kind.label())),
+                ("detail".to_string(), Json::str(&failure.detail)),
+            ],
+        ),
+        Ok(None) => (
+            OUTCOME_OK.to_string(),
+            vec![("reproduced".to_string(), Json::Bool(false))],
+        ),
+        Err(panic) => (
+            OUTCOME_QUARANTINED.to_string(),
+            vec![("message".to_string(), Json::str(panic_text(&*panic)))],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!(
+            "ftdircmp-serve-runner-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(&dir).unwrap()
+    }
+
+    fn tiny_campaign() -> JobSpec {
+        let v = Json::parse(
+            r#"{"kind":"campaign","label":"tiny",
+                "specs":["barnes:ops=30"],
+                "configs":[{"protocol":"dircmp"},{"protocol":"ftdircmp","fault_rate":500}],
+                "seeds":2}"#,
+        )
+        .unwrap();
+        JobSpec::from_json(&v).unwrap()
+    }
+
+    #[test]
+    fn campaign_runs_streams_progress_and_summarizes() {
+        let store = tmp_store("campaign");
+        let job = tiny_campaign();
+        let seen = std::sync::Mutex::new(Vec::new());
+        let outcome = execute_job(&store, "j000001", &job, 2, &|d, t| {
+            seen.lock().unwrap().push((d, t));
+        })
+        .unwrap();
+        assert_eq!(outcome, OUTCOME_OK);
+        let ticks = seen.into_inner().unwrap();
+        assert_eq!(ticks.first(), Some(&(0, 4)));
+        assert_eq!(ticks.last(), Some(&(4, 4)));
+        let summary = store.read_summary("j000001").unwrap().unwrap();
+        let v = Json::parse(summary.trim_end()).unwrap();
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("ok"));
+        let units = v.get("units").and_then(Json::as_arr).unwrap();
+        assert_eq!(units.len(), 4);
+        assert_eq!(units[0].get("status").and_then(Json::as_str), Some("ok"),);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn resume_skips_stored_units_and_is_byte_identical() {
+        let fresh = tmp_store("resume-fresh");
+        let job = tiny_campaign();
+        execute_job(&fresh, "j1", &job, 1, &|_, _| {}).unwrap();
+        let reference = fresh.read_summary("j1").unwrap().unwrap();
+
+        // Second store: pre-run, keep only the first two unit records
+        // (simulating a crash), then resume.
+        let partial = tmp_store("resume-partial");
+        execute_job(&partial, "j1", &job, 1, &|_, _| {}).unwrap();
+        let recs = partial.load_unit_records("j1").unwrap();
+        let keep: Vec<&Json> = recs.records.iter().take(2).collect();
+        let mut text = String::new();
+        for r in &keep {
+            text.push_str(&r.to_string());
+            text.push('\n');
+        }
+        std::fs::write(partial.records_path("j1"), &text).unwrap();
+        std::fs::remove_file(partial.summary_path("j1")).unwrap();
+
+        let ran = std::sync::Mutex::new(Vec::new());
+        execute_job(&partial, "j1", &job, 1, &|d, t| {
+            ran.lock().unwrap().push((d, t));
+        })
+        .unwrap();
+        // Resume started from 2/4, not 0/4.
+        assert_eq!(ran.into_inner().unwrap().first(), Some(&(2, 4)));
+        let resumed = partial.read_summary("j1").unwrap().unwrap();
+        assert_eq!(resumed, reference, "resume must be byte-identical");
+        let _ = std::fs::remove_dir_all(fresh.root());
+        let _ = std::fs::remove_dir_all(partial.root());
+    }
+
+    #[test]
+    fn poison_job_is_quarantined_with_its_panic_message() {
+        let store = tmp_store("poison");
+        let job = JobSpec {
+            label: "boom".to_string(),
+            priority: 0,
+            kind: JobKind::Poison,
+        };
+        let outcome = execute_job(&store, "j9", &job, 1, &|_, _| {}).unwrap();
+        assert_eq!(outcome, OUTCOME_QUARANTINED);
+        let summary = store.read_summary("j9").unwrap().unwrap();
+        assert!(summary.contains("poison job executed"), "{summary}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn replay_of_garbage_fails_cleanly() {
+        let store = tmp_store("replay");
+        let job = JobSpec {
+            label: "r".to_string(),
+            priority: 0,
+            kind: JobKind::Replay {
+                repro: "not a repro".to_string(),
+            },
+        };
+        let outcome = execute_job(&store, "j2", &job, 1, &|_, _| {}).unwrap();
+        assert_eq!(outcome, OUTCOME_FAILED);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,411 @@
+//! TCP front end: line-delimited JSON over a local socket.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line with an `"ok"` field. A connection that issued
+//! `watch` additionally receives streamed event lines (`"event"` field)
+//! interleaved between responses; responses and events are serialized
+//! through one per-connection writer thread so lines never interleave.
+//!
+//! Commands:
+//!
+//! | cmd        | fields            | reply                                 |
+//! |------------|-------------------|---------------------------------------|
+//! | `ping`     |                   | `{"ok":true,"pong":true}`             |
+//! | `submit`   | `job`             | `{"ok":true,"id":"j000001"}`          |
+//! | `status`   | `id`              | state/label/priority of one job       |
+//! | `list`     |                   | every job the queue knows             |
+//! | `watch`    | `id` (optional)   | subscribes; done jobs notify at once  |
+//! | `result`   | `id`              | the stored summary, verbatim          |
+//! | `shutdown` |                   | `{"ok":true}`, then the daemon exits  |
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use crate::job::JobSpec;
+use crate::json::Json;
+use crate::notifier::{done_event, progress_event, Notifier};
+use crate::queue::{JobState, Queue};
+use crate::runner::execute_job;
+use crate::store::Store;
+
+/// Daemon options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks a free port (published in the `port`
+    /// file and on stdout).
+    pub addr: String,
+    /// Worker threads per campaign.
+    pub jobs: usize,
+    /// Backpressure: max pending jobs before submissions are rejected.
+    pub max_pending: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 1,
+            max_pending: 64,
+        }
+    }
+}
+
+/// Runs the daemon until a `shutdown` command arrives: binds the socket,
+/// replays the queue journal (resuming any half-finished jobs), and
+/// serves clients.
+///
+/// # Errors
+///
+/// Propagates bind/store failures at startup.
+///
+/// # Panics
+///
+/// Panics if a service thread panicked (never: workers catch panics).
+pub fn serve(root: &Path, options: &ServeOptions) -> std::io::Result<()> {
+    let store = Store::open(root)?;
+    let queue = Arc::new(Queue::open(store, options.max_pending)?);
+    let notifier = Arc::new(Notifier::new());
+    let listener = TcpListener::bind(&options.addr)?;
+    let local = listener.local_addr()?;
+    queue.store().write_port(local.port())?;
+    println!("listening on {local}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let executor = {
+        let queue = Arc::clone(&queue);
+        let notifier = Arc::clone(&notifier);
+        let jobs = options.jobs;
+        thread::spawn(move || run_executor(&queue, &notifier, jobs))
+    };
+
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(socket) = conn else { continue };
+        let queue = Arc::clone(&queue);
+        let notifier = Arc::clone(&notifier);
+        let stop = Arc::clone(&stop);
+        let addr = local;
+        thread::spawn(move || {
+            if handle_connection(&socket, &queue, &notifier) == ConnOutcome::Shutdown {
+                stop.store(true, Ordering::SeqCst);
+                queue.shutdown();
+                // Unblock the accept loop so the daemon can exit.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+    }
+
+    executor.join().expect("executor thread never panics");
+    Ok(())
+}
+
+/// Drains the queue: runs each job, persists its summary, records the
+/// outcome, and streams progress/done events. A job whose worker panics
+/// is quarantined (summary preserved, outcome `quarantined`) and the
+/// queue keeps serving.
+fn run_executor(queue: &Queue, notifier: &Notifier, jobs: usize) {
+    while let Some(job) = queue.take_next() {
+        let id = job.id.clone();
+        let progress = |done: usize, total: usize| {
+            notifier.publish(&id, &progress_event(&id, done, total));
+        };
+        match execute_job(queue.store(), &job.id, &job.spec, jobs, &progress) {
+            Ok(outcome) => {
+                queue.mark_done(&job.id, &outcome);
+                notifier.publish(&job.id, &done_event(&job.id, &outcome));
+            }
+            Err(e) => {
+                // The summary never committed: leave the job un-done so a
+                // restart retries it, but tell watchers what happened.
+                eprintln!("job {}: store failure: {e}", job.id);
+                notifier.publish(&job.id, &done_event(&job.id, "store-error"));
+            }
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ConnOutcome {
+    Closed,
+    Shutdown,
+}
+
+fn handle_connection(socket: &TcpStream, queue: &Queue, notifier: &Notifier) -> ConnOutcome {
+    let Ok(write_half) = socket.try_clone() else {
+        return ConnOutcome::Closed;
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || {
+        let mut out = write_half;
+        while let Ok(line) = rx.recv() {
+            if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                break;
+            }
+            let _ = out.flush();
+        }
+    });
+
+    let mut outcome = ConnOutcome::Closed;
+    let mut reader = BufReader::new(socket);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let (reply, is_shutdown) = handle_command(text, queue, notifier, &tx);
+        if tx.send(reply.to_string()).is_err() {
+            break;
+        }
+        if is_shutdown {
+            outcome = ConnOutcome::Shutdown;
+            break;
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    outcome
+}
+
+fn error_reply(msg: &str) -> Json {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(msg))])
+}
+
+fn handle_command(
+    text: &str,
+    queue: &Queue,
+    notifier: &Notifier,
+    tx: &mpsc::Sender<String>,
+) -> (Json, bool) {
+    let Ok(req) = Json::parse(text) else {
+        return (error_reply("request is not valid JSON"), false);
+    };
+    let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
+        return (error_reply("request missing string field \"cmd\""), false);
+    };
+    let reply = match cmd {
+        "ping" => Json::obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+        "submit" => match req.get("job") {
+            Some(job_json) => match JobSpec::from_json(job_json) {
+                Ok(spec) => match queue.submit(spec) {
+                    Ok(id) => Json::obj(vec![("ok", Json::Bool(true)), ("id", Json::str(&id))]),
+                    Err(e) => error_reply(&e),
+                },
+                Err(e) => error_reply(&e),
+            },
+            None => error_reply("submit missing object field \"job\""),
+        },
+        "status" => match req.get("id").and_then(Json::as_str) {
+            Some(id) => match queue.status(id) {
+                Some((state, label, priority)) => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::str(id)),
+                    ("state", Json::str(state.name())),
+                    (
+                        "outcome",
+                        match &state {
+                            JobState::Done(o) => Json::str(o),
+                            _ => Json::Null,
+                        },
+                    ),
+                    ("label", Json::str(&label)),
+                    ("priority", Json::Num(priority as f64)),
+                ]),
+                None => error_reply(&format!("unknown job {id:?}")),
+            },
+            None => error_reply("status missing string field \"id\""),
+        },
+        "list" => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "jobs",
+                Json::Arr(
+                    queue
+                        .list()
+                        .into_iter()
+                        .map(|(id, state, label)| {
+                            Json::obj(vec![
+                                ("id", Json::str(&id)),
+                                ("state", Json::str(state.name())),
+                                ("label", Json::str(&label)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        "watch" => {
+            let id = req.get("id").and_then(Json::as_str).map(str::to_string);
+            if let Some(id) = &id {
+                if queue.status(id).is_none() {
+                    return (error_reply(&format!("unknown job {id:?}")), false);
+                }
+            }
+            notifier.subscribe(id.clone(), tx.clone());
+            // A watch on an already-finished job notifies immediately —
+            // otherwise a client that raced job completion waits forever.
+            if let Some(id) = &id {
+                if let Some((JobState::Done(outcome), _, _)) = queue.status(id) {
+                    let _ = tx.send(done_event(id, &outcome).to_string());
+                }
+            }
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("watching", Json::Bool(true)),
+            ])
+        }
+        "result" => match req.get("id").and_then(Json::as_str) {
+            Some(id) => match queue.store().read_summary(id) {
+                Ok(Some(summary)) => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::str(id)),
+                    ("summary", Json::str(&summary)),
+                ]),
+                Ok(None) => error_reply(&format!("job {id:?} has no stored result yet")),
+                Err(e) => error_reply(&format!("reading result: {e}")),
+            },
+            None => error_reply("result missing string field \"id\""),
+        },
+        "shutdown" => {
+            return (Json::obj(vec![("ok", Json::Bool(true))]), true);
+        }
+        other => error_reply(&format!("unknown command {other:?}")),
+    };
+    (reply, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn tmp_queue(tag: &str) -> Queue {
+        let dir = std::env::temp_dir().join(format!(
+            "ftdircmp-serve-server-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Queue::open(Store::open(&dir).unwrap(), 8).unwrap()
+    }
+
+    fn call(queue: &Queue, notifier: &Notifier, text: &str) -> (Json, bool) {
+        let (tx, _rx) = mpsc::channel();
+        handle_command(text, queue, notifier, &tx)
+    }
+
+    #[test]
+    fn wire_protocol_basics() {
+        let queue = tmp_queue("wire");
+        let notifier = Notifier::new();
+        let (pong, _) = call(&queue, &notifier, r#"{"cmd":"ping"}"#);
+        assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+
+        let (bad, _) = call(&queue, &notifier, "not json");
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+
+        let (sub, _) = call(
+            &queue,
+            &notifier,
+            r#"{"cmd":"submit","job":{"kind":"poison","label":"p"}}"#,
+        );
+        assert_eq!(sub.get("ok"), Some(&Json::Bool(true)), "{sub:?}");
+        let id = sub.get("id").and_then(Json::as_str).unwrap().to_string();
+
+        let (st, _) = call(
+            &queue,
+            &notifier,
+            &format!(r#"{{"cmd":"status","id":"{id}"}}"#),
+        );
+        assert_eq!(st.get("state").and_then(Json::as_str), Some("pending"));
+
+        let (ls, _) = call(&queue, &notifier, r#"{"cmd":"list"}"#);
+        assert_eq!(ls.get("jobs").and_then(Json::as_arr).unwrap().len(), 1);
+
+        let (missing, _) = call(&queue, &notifier, r#"{"cmd":"result","id":"j999999"}"#);
+        assert_eq!(missing.get("ok"), Some(&Json::Bool(false)));
+
+        let (_, shutdown) = call(&queue, &notifier, r#"{"cmd":"shutdown"}"#);
+        assert!(shutdown);
+        let _ = std::fs::remove_dir_all(queue.store().root());
+    }
+
+    #[test]
+    fn watch_on_done_job_notifies_immediately() {
+        let queue = tmp_queue("watch-done");
+        let notifier = Notifier::new();
+        let (sub, _) = call(
+            &queue,
+            &notifier,
+            r#"{"cmd":"submit","job":{"kind":"poison","label":"p"}}"#,
+        );
+        let id = sub.get("id").and_then(Json::as_str).unwrap().to_string();
+        let taken = queue.take_next().unwrap();
+        queue.store().write_summary(&taken.id, "{}\n").unwrap();
+        queue.mark_done(&taken.id, "quarantined");
+
+        let (tx, rx) = mpsc::channel();
+        let (reply, _) = handle_command(
+            &format!(r#"{{"cmd":"watch","id":"{id}"}}"#),
+            &queue,
+            &notifier,
+            &tx,
+        );
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        let event = rx.try_recv().unwrap();
+        assert!(event.contains("\"event\":\"done\""), "{event}");
+        assert!(event.contains("quarantined"), "{event}");
+        let _ = std::fs::remove_dir_all(queue.store().root());
+    }
+
+    #[test]
+    fn executor_drains_and_quarantines_poison() {
+        let queue = std::sync::Arc::new(tmp_queue("executor"));
+        let notifier = std::sync::Arc::new(Notifier::new());
+        queue
+            .submit(JobSpec::from_json(&Json::parse(r#"{"kind":"poison"}"#).unwrap()).unwrap())
+            .unwrap();
+        queue
+            .submit(
+                JobSpec::from_json(
+                    &Json::parse(
+                        r#"{"kind":"campaign","label":"after-poison",
+                            "specs":["barnes:ops=30"],
+                            "configs":[{"protocol":"dircmp"}],"seeds":1}"#,
+                    )
+                    .unwrap(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let (tx, rx) = mpsc::channel();
+        notifier.subscribe(None, tx);
+        {
+            let q = std::sync::Arc::clone(&queue);
+            let n = std::sync::Arc::clone(&notifier);
+            let h = std::thread::spawn(move || run_executor(&q, &n, 1));
+            while queue.open_jobs() > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            queue.shutdown();
+            h.join().unwrap();
+        }
+        let events: Vec<String> = rx.try_iter().collect();
+        let done: Vec<&String> = events.iter().filter(|e| e.contains("\"done\"")).collect();
+        assert_eq!(done.len(), 2, "{events:?}");
+        assert!(done[0].contains("quarantined"), "{events:?}");
+        assert!(done[1].contains("\"outcome\":\"ok\""), "{events:?}");
+        let _ = std::fs::remove_dir_all(queue.store().root());
+    }
+}

@@ -1,0 +1,324 @@
+//! End-to-end tests against the real `ftdircmp-serve` daemon binary:
+//! concurrent clients, kill -9 crash-resume, and poison-job quarantine.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ftdircmp_serve::job::JobSpec;
+use ftdircmp_serve::json::Json;
+use ftdircmp_serve::runner::execute_job;
+use ftdircmp_serve::store::Store;
+
+const STARTUP_TIMEOUT: Duration = Duration::from_secs(30);
+const JOB_TIMEOUT: Duration = Duration::from_mins(5);
+
+struct Daemon {
+    child: Child,
+    root: PathBuf,
+}
+
+impl Daemon {
+    fn start(root: &Path, jobs: usize) -> Daemon {
+        // A restart must not read the previous incarnation's port file.
+        let _ = std::fs::remove_file(root.join("port"));
+        let child = Command::new(env!("CARGO_BIN_EXE_ftdircmp-serve"))
+            .args([
+                "serve",
+                "--root",
+                root.to_str().unwrap(),
+                "--jobs",
+                &jobs.to_string(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        Daemon {
+            child,
+            root: root.to_path_buf(),
+        }
+    }
+
+    fn addr(&self) -> String {
+        let port_file = self.root.join("port");
+        let deadline = Instant::now() + STARTUP_TIMEOUT;
+        loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let port = text.trim();
+                if !port.is_empty() {
+                    return format!("127.0.0.1:{port}");
+                }
+            }
+            assert!(Instant::now() < deadline, "daemon never published a port");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// SIGKILL — the crash the resume contract is about.
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill daemon");
+        let _ = self.child.wait();
+    }
+
+    fn shutdown(mut self) {
+        let mut conn = Conn::connect(&self.addr());
+        let reply = conn.call(r#"{"cmd":"shutdown"}"#);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Streamed events that arrived while waiting for a command reply.
+    pending_events: Vec<String>,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Conn {
+        let deadline = Instant::now() + STARTUP_TIMEOUT;
+        loop {
+            if let Ok(stream) = TcpStream::connect(addr) {
+                let writer = stream.try_clone().expect("clone socket");
+                return Conn {
+                    reader: BufReader::new(stream),
+                    writer,
+                    pending_events: Vec::new(),
+                };
+            }
+            assert!(Instant::now() < deadline, "daemon never accepted at {addr}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Sends a command and returns its reply, buffering any streamed
+    /// events that arrive in between (a watching connection receives
+    /// event lines interleaved with replies).
+    fn call(&mut self, request: &str) -> String {
+        self.send(request);
+        loop {
+            let line = self.recv_line();
+            let parsed = Json::parse(&line).expect("line parses");
+            if parsed.get("event").is_some() {
+                self.pending_events.push(line);
+            } else {
+                return line;
+            }
+        }
+    }
+
+    fn send(&mut self, request: &str) {
+        self.writer.write_all(request.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "daemon closed the connection");
+        line.trim_end().to_string()
+    }
+
+    /// Reads events until `id`'s done event arrives; returns its outcome.
+    fn wait_done(&mut self, id: &str) -> String {
+        let deadline = Instant::now() + JOB_TIMEOUT;
+        loop {
+            assert!(Instant::now() < deadline, "timed out waiting for {id}");
+            let line = if self.pending_events.is_empty() {
+                self.recv_line()
+            } else {
+                self.pending_events.remove(0)
+            };
+            let event = Json::parse(&line).expect("event parses");
+            if event.get("id").and_then(Json::as_str) != Some(id) {
+                continue;
+            }
+            if event.get("event").and_then(Json::as_str) == Some("done") {
+                return event
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .expect("done event has outcome")
+                    .to_string();
+            }
+        }
+    }
+
+    fn submit(&mut self, job: &str) -> String {
+        let reply = self.call(&format!(r#"{{"cmd":"submit","job":{job}}}"#));
+        let v = Json::parse(&reply).expect("reply parses");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        v.get("id").and_then(Json::as_str).expect("id").to_string()
+    }
+
+    fn result(&mut self, id: &str) -> String {
+        let reply = self.call(&format!(r#"{{"cmd":"result","id":"{id}"}}"#));
+        let v = Json::parse(&reply).expect("reply parses");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        v.get("summary")
+            .and_then(Json::as_str)
+            .expect("summary")
+            .to_string()
+    }
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftdircmp-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `job` synchronously through the identical executor code path the
+/// daemon uses (under the same job id) and returns the stored summary.
+fn reference_summary(tag: &str, id: &str, job: &str) -> String {
+    let root = tmp_root(&format!("ref-{tag}"));
+    let store = Store::open(&root).unwrap();
+    let spec = JobSpec::from_json(&Json::parse(job).unwrap()).unwrap();
+    execute_job(&store, id, &spec, 1, &|_, _| {}).unwrap();
+    let summary = store.read_summary(id).unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+    summary
+}
+
+#[test]
+fn concurrent_clients_drain_deterministically() {
+    let root = tmp_root("concurrent");
+    let daemon = Daemon::start(&root, 2);
+    let addr = daemon.addr();
+
+    let job_a = r#"{"kind":"campaign","label":"a","specs":["barnes:ops=300"],"configs":[{"protocol":"dircmp"},{"protocol":"ftdircmp","fault_rate":500}],"seeds":2}"#;
+    let job_b = r#"{"kind":"campaign","label":"b","specs":["fft:ops=300"],"configs":[{"protocol":"ftdircmp","fault_rate":1000}],"seeds":3}"#;
+
+    let run_client = |job: &'static str| {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut conn = Conn::connect(&addr);
+            // Watch before submitting so no event can be missed.
+            let watch = conn.call(r#"{"cmd":"watch"}"#);
+            assert!(watch.contains("\"ok\":true"), "{watch}");
+            let id = conn.submit(job);
+            let outcome = conn.wait_done(&id);
+            assert_eq!(outcome, "ok");
+            let summary = conn.result(&id);
+            (id, summary)
+        })
+    };
+    let ha = run_client(job_a);
+    let hb = run_client(job_b);
+    let (id_a, summary_a) = ha.join().unwrap();
+    let (id_b, summary_b) = hb.join().unwrap();
+    daemon.shutdown();
+
+    // Results must be byte-identical to the same specs run synchronously
+    // through the local executor, regardless of submission interleaving.
+    assert_eq!(summary_a, reference_summary("a", &id_a, job_a));
+    assert_eq!(summary_b, reference_summary("b", &id_b, job_b));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn kill9_mid_campaign_resumes_without_duplicating_or_losing_cells() {
+    let root = tmp_root("kill9");
+    let mut daemon = Daemon::start(&root, 1);
+    let addr = daemon.addr();
+    // Six sequential units at ~1s each (debug build): plenty of window to
+    // land a SIGKILL after the first record but before the summary.
+    let job = r#"{"kind":"campaign","label":"crashy","specs":["barnes:ops=4000"],"configs":[{"protocol":"ftdircmp","fault_rate":500}],"seeds":6}"#;
+    let id = {
+        let mut conn = Conn::connect(&addr);
+        conn.submit(job)
+    };
+
+    // Wait for at least one durable unit record, then SIGKILL the daemon.
+    let store = Store::open(&root).unwrap();
+    let deadline = Instant::now() + JOB_TIMEOUT;
+    loop {
+        assert!(Instant::now() < deadline, "no unit record ever landed");
+        if !store.load_unit_records(&id).unwrap().records.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    daemon.kill9();
+    let before = store.load_unit_records(&id).unwrap();
+    let done_before: Vec<u64> = before
+        .records
+        .iter()
+        .map(|r| r.get("unit").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(
+        !store.is_done(&id),
+        "campaign finished before the kill landed; grow the workload"
+    );
+
+    // Restart on the same root: the journal replays, the job re-enqueues,
+    // and only the units whose records never landed run again.
+    let daemon = Daemon::start(&root, 1);
+    let addr = daemon.addr();
+    let mut conn = Conn::connect(&addr);
+    let watch = conn.call(&format!(r#"{{"cmd":"watch","id":"{id}"}}"#));
+    assert!(watch.contains("\"ok\":true"), "{watch}");
+    let outcome = conn.wait_done(&id);
+    assert_eq!(outcome, "ok");
+    let summary = conn.result(&id);
+    daemon.shutdown();
+
+    // No unit lost, none duplicated.
+    let after = store.load_unit_records(&id).unwrap();
+    let mut seen: Vec<u64> = after
+        .records
+        .iter()
+        .map(|r| r.get("unit").and_then(Json::as_u64).unwrap())
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "each unit exactly once");
+    // Pre-kill records survive verbatim (never re-run, never rewritten).
+    for (i, rec) in done_before.iter().enumerate() {
+        assert_eq!(
+            after.records[i].get("unit").and_then(Json::as_u64),
+            Some(*rec)
+        );
+    }
+    // And the final summary is byte-identical to an uninterrupted run.
+    assert_eq!(summary, reference_summary("kill9", &id, job));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn poisoned_job_is_quarantined_while_queue_keeps_serving() {
+    let root = tmp_root("poison");
+    let daemon = Daemon::start(&root, 1);
+    let mut conn = Conn::connect(&daemon.addr());
+    let watch = conn.call(r#"{"cmd":"watch"}"#);
+    assert!(watch.contains("\"ok\":true"), "{watch}");
+
+    // The poison job panics inside the executor; priority puts it first.
+    let poison_id = conn.submit(r#"{"kind":"poison","label":"boom","priority":10}"#);
+    let victim_id = conn.submit(
+        r#"{"kind":"campaign","label":"survivor","specs":["barnes:ops=100"],"configs":[{"protocol":"dircmp"}],"seeds":1}"#,
+    );
+
+    assert_eq!(conn.wait_done(&poison_id), "quarantined");
+    assert_eq!(conn.wait_done(&victim_id), "ok");
+
+    // The quarantined job's summary preserves the panic for forensics.
+    let poison_summary = conn.result(&poison_id);
+    assert!(
+        poison_summary.contains("poison job executed"),
+        "{poison_summary}"
+    );
+    let status = conn.call(&format!(r#"{{"cmd":"status","id":"{poison_id}"}}"#));
+    assert!(status.contains("\"outcome\":\"quarantined\""), "{status}");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -482,6 +482,97 @@ mod tests {
     }
 
     #[test]
+    fn exactly_ring_cycles_ahead_takes_the_overflow_path() {
+        // The overflow boundary: `at - now == RING_CYCLES` must spill to the
+        // heap — in the ring it would share slot_of(now) with cycle-`now`
+        // events and corrupt pop order.
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(0), "now");
+        q.schedule(Cycle::new(RING_CYCLES), "boundary"); // same slot as 0
+        q.schedule(Cycle::new(RING_CYCLES - 1), "last-in-ring");
+        assert_eq!(q.pop(), Some((Cycle::new(0), "now")));
+        assert_eq!(q.pop(), Some((Cycle::new(RING_CYCLES - 1), "last-in-ring")));
+        assert_eq!(q.pop(), Some((Cycle::new(RING_CYCLES), "boundary")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn boundary_event_migrates_once_now_advances() {
+        // An event exactly RING_CYCLES ahead spills to overflow; after the
+        // clock advances it is within the ring window and must interleave
+        // correctly with ring-resident events on the same cycle.
+        let mut q = EventQueue::new();
+        let t = Cycle::new(RING_CYCLES);
+        q.schedule(t, 0); // overflow (exactly RING_CYCLES ahead of now=0)
+        q.schedule(Cycle::new(1), 100);
+        assert_eq!(q.pop(), Some((Cycle::new(1), 100))); // now = 1
+        q.schedule(t, 1); // now a ring event (RING_CYCLES - 1 ahead)
+        q.schedule(t, 2);
+        // FIFO: the overflow event was scheduled first.
+        assert_eq!(q.pop(), Some((t, 0)));
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Reference key for seeded tie-breaking, mirroring `schedule`.
+    fn key_for(seed: u64, seq: u64) -> u64 {
+        if seed == 0 {
+            seq
+        } else {
+            crate::rng::splitmix64(seed ^ crate::rng::splitmix64(seq))
+        }
+    }
+
+    #[test]
+    fn overflow_migration_under_nonzero_seed_follows_key_order() {
+        // Events landing on one far cycle via both paths (overflow spill,
+        // then ring once `now` advanced) must drain in (key, seq) order
+        // under a nonzero schedule seed, exactly like the old BinaryHeap.
+        let seed = 0xDECAF;
+        let mut q = EventQueue::with_schedule_seed(seed);
+        let t = Cycle::new(RING_CYCLES + 5);
+        q.schedule(t, 0u64); // seq 0: overflow
+        q.schedule(t, 1); // seq 1: overflow
+        q.schedule(Cycle::new(10), 99); // seq 2
+        q.pop(); // now = 10; t is ring-resident from here on
+        q.schedule(t, 3); // seq 3: ring
+        q.schedule(t, 4); // seq 4: ring
+        let mut expect: Vec<(u64, u64)> = [(0u64, 0u64), (1, 1), (3, 3), (4, 4)]
+            .iter()
+            .map(|&(seq, id)| (key_for(seed, seq), id))
+            .collect();
+        expect.sort_unstable();
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let want: Vec<u64> = expect.into_iter().map(|(_, id)| id).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mid_drain_same_cycle_inserts_under_seed_follow_key_order() {
+        // Schedule-at-`now` while the current bucket is mid-drain, under a
+        // nonzero seed: the remaining pops must deliver the minimum
+        // (key, seq) first, counting the late insert.
+        let seed = 0xBEEF;
+        let mut q = EventQueue::with_schedule_seed(seed);
+        for i in 0..8u64 {
+            q.schedule(Cycle::new(5), i); // seqs 0..8
+        }
+        let first = q.pop().unwrap().1; // enters cycle 5, drains one
+                                        // Late arrivals on the mid-drain cycle: seqs 8 and 9.
+        q.schedule(Cycle::new(5), 8);
+        q.schedule(Cycle::new(5), 9);
+        let mut remaining: Vec<(u64, u64)> = (0..10u64)
+            .filter(|&i| i != first)
+            .map(|i| (key_for(seed, i), i))
+            .collect();
+        remaining.sort_unstable();
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let want: Vec<u64> = remaining.into_iter().map(|(_, id)| id).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn mid_drain_same_cycle_inserts_keep_fifo_order() {
         let mut q = EventQueue::new();
         q.schedule(Cycle::new(5), 0);
@@ -571,6 +662,66 @@ mod proptests {
             for (delay, op) in script {
                 if op == 0 && !reference.is_empty() {
                     // Reference pop: minimum (at, key, seq).
+                    let i = (0..reference.len()).min_by_key(|&i| {
+                        let (at, key, s, _) = reference[i];
+                        (at, key, s)
+                    }).unwrap();
+                    let (at, _, _, id) = reference.remove(i);
+                    expected.push(id);
+                    clock = at;
+                    let got = q.pop().unwrap();
+                    popped.push(got.1);
+                    prop_assert_eq!(got.0, at);
+                } else {
+                    let at = clock + delay;
+                    let key = if seed == 0 {
+                        seq
+                    } else {
+                        crate::rng::splitmix64(seed ^ crate::rng::splitmix64(seq))
+                    };
+                    reference.push((at, key, seq, next_id));
+                    q.schedule(at, next_id);
+                    seq += 1;
+                    next_id += 1;
+                }
+            }
+            while let Some((_, id)) = q.pop() {
+                popped.push(id);
+            }
+            while !reference.is_empty() {
+                let i = (0..reference.len()).min_by_key(|&i| {
+                    let (at, key, s, _) = reference[i];
+                    (at, key, s)
+                }).unwrap();
+                expected.push(reference.remove(i).3);
+            }
+            prop_assert_eq!(popped, expected);
+        }
+
+        /// Like `matches_reference_heap_order`, but with delays drawn from
+        /// the overflow-boundary neighbourhood (0, ring edge ± 1, exactly
+        /// `RING_CYCLES`, multiples beyond) so the ring/overflow handoff and
+        /// schedule-at-`now` mid-drain paths are hit on almost every case,
+        /// under FIFO and seeded tie-breaking alike.
+        #[test]
+        fn boundary_delays_match_reference_heap_order(
+            seed in proptest::sample::select(vec![0u64, 7, 0xC0FFEE, 0xDEAD_BEEF]),
+            script in proptest::collection::vec(
+                (proptest::sample::select(vec![
+                    0u64, 1, 2,
+                    RING_CYCLES - 1, RING_CYCLES, RING_CYCLES + 1,
+                    2 * RING_CYCLES, 2 * RING_CYCLES + 1, 3 * RING_CYCLES,
+                ]), 0u8..4), 1..300),
+        ) {
+            let mut q = EventQueue::with_schedule_seed(seed);
+            let mut reference: Vec<(Cycle, u64, u64, usize)> = Vec::new();
+            let mut next_id = 0usize;
+            let mut seq = 0u64;
+            let mut clock = Cycle::ZERO;
+            let mut popped: Vec<usize> = Vec::new();
+            let mut expected: Vec<usize> = Vec::new();
+            for (delay, op) in script {
+                if op == 0 && !reference.is_empty() {
                     let i = (0..reference.len()).min_by_key(|&i| {
                         let (at, key, s, _) = reference[i];
                         (at, key, s)

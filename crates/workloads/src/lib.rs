@@ -27,4 +27,4 @@
 mod patterns;
 mod spec;
 
-pub use spec::{suite, SharingPattern, WorkloadSpec};
+pub use spec::{suite, suite_names, SharingPattern, WorkloadSpec};

@@ -68,6 +68,59 @@ impl WorkloadSpec {
         suite().into_iter().find(|s| s.name == name)
     }
 
+    /// Parses a workload request from a campaign submission:
+    /// `"name"` or `"name:key=value,..."` with sizing overrides.
+    ///
+    /// Supported overrides (all unsigned integers):
+    /// * `ops` — operations generated per core ([`WorkloadSpec::ops_per_core`]),
+    ///   the knob smoke campaigns use to stay tiny;
+    /// * `think` — mean think time in cycles ([`WorkloadSpec::think_mean`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the unknown benchmark (and
+    /// listing the suite) or the malformed override.
+    pub fn parse(request: &str) -> Result<WorkloadSpec, String> {
+        let (name, overrides) = match request.split_once(':') {
+            Some((n, o)) => (n.trim(), Some(o)),
+            None => (request.trim(), None),
+        };
+        let mut spec = WorkloadSpec::named(name).ok_or_else(|| {
+            format!(
+                "unknown benchmark {name:?} (suite: {})",
+                suite_names().join(", ")
+            )
+        })?;
+        for kv in overrides.into_iter().flat_map(|o| o.split(',')) {
+            let kv = kv.trim();
+            if kv.is_empty() {
+                continue;
+            }
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("malformed override {kv:?} (expected key=value)"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("override {key:?}: bad integer {value:?}"))?;
+            match key.trim() {
+                "ops" => {
+                    if n == 0 {
+                        return Err("override \"ops\": must be >= 1".to_string());
+                    }
+                    spec.ops_per_core = n as usize;
+                }
+                "think" => spec.think_mean = n,
+                other => {
+                    return Err(format!(
+                        "unknown override {other:?} (supported: ops, think)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
     /// Generates per-core traces for `cores` cores from `seed`.
     pub fn generate(&self, cores: u8, seed: u64) -> Workload {
         let regions = Regions { line_bytes: 64 };
@@ -150,6 +203,11 @@ fn base(name: &'static str) -> WorkloadSpec {
         store_fraction: 0.3,
         think_mean: 20,
     }
+}
+
+/// Names of every benchmark in [`suite`], in suite order.
+pub fn suite_names() -> Vec<&'static str> {
+    suite().iter().map(|s| s.name).collect()
 }
 
 /// The benchmark suite: named synthetic stand-ins for the parallel
@@ -311,6 +369,42 @@ mod tests {
         assert!(WorkloadSpec::named("fft").is_some());
         assert!(WorkloadSpec::named("barnes").is_some());
         assert!(WorkloadSpec::named("nonexistent").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_bare_names_and_overrides() {
+        assert_eq!(WorkloadSpec::parse("fft").unwrap(), suite()[1]);
+        let tiny = WorkloadSpec::parse("barnes:ops=40").unwrap();
+        assert_eq!(tiny.ops_per_core, 40);
+        assert_eq!(tiny.name, "barnes");
+        let both = WorkloadSpec::parse(" ocean : ops=25 , think=0 ").unwrap();
+        assert_eq!(both.ops_per_core, 25);
+        assert_eq!(both.think_mean, 0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_requests_descriptively() {
+        let e = WorkloadSpec::parse("nonexistent").unwrap_err();
+        assert!(
+            e.contains("unknown benchmark") && e.contains("water-sp"),
+            "{e}"
+        );
+        let e = WorkloadSpec::parse("fft:ops").unwrap_err();
+        assert!(e.contains("key=value"), "{e}");
+        let e = WorkloadSpec::parse("fft:ops=zero").unwrap_err();
+        assert!(e.contains("bad integer"), "{e}");
+        let e = WorkloadSpec::parse("fft:ops=0").unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e = WorkloadSpec::parse("fft:sides=9").unwrap_err();
+        assert!(e.contains("unknown override"), "{e}");
+    }
+
+    #[test]
+    fn suite_names_match_suite() {
+        assert_eq!(
+            suite_names(),
+            suite().iter().map(|s| s.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -15,17 +15,30 @@ cpus=$(nproc 2>/dev/null || echo 4)
 JOBS="${JOBS:-$(( cpus > 2 ? cpus : 2 ))}"
 mkdir -p results
 
+# Seconds since the epoch, sub-second where the shell provides it.
+# `date +%s.%N` is GNU-only (BSD date prints a literal "N"); bash 5's
+# $EPOCHREALTIME is portable across platforms, with whole seconds as the
+# fallback. Some locales render EPOCHREALTIME with a decimal comma.
+now_s() {
+    if [ -n "${EPOCHREALTIME:-}" ]; then
+        echo "${EPOCHREALTIME/,/.}"
+    else
+        date +%s
+    fi
+}
+
 echo "== criterion: simulator microbenches =="
 cargo bench -q -p ftdircmp-bench --bench simulator
 
 echo
 echo "== fig3 campaign, classic sequential reference (--jobs 1, seeds=$SEEDS) =="
 cargo build --release -q -p ftdircmp-bench --bin fig3_execution_time
-t0=$(date +%s.%N)
+cargo build --release -q -p ftdircmp-serve --bin ftdircmp-serve
+t0=$(now_s)
 ./target/release/fig3_execution_time --seeds "$SEEDS" --jobs 1 \
     --bench-json results/BENCH_campaign_seq.json > results/fig3_seq.txt
-t1=$(date +%s.%N)
-seq_wall=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+t1=$(now_s)
+seq_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b - a}')
 echo "classic sequential wall: ${seq_wall}s"
 
 echo
@@ -34,11 +47,11 @@ echo "== fig3 campaign, checkpoint-fork sequential (--jobs 1) =="
     --bench-json results/BENCH_campaign_ckpt_seq.json > results/fig3_ckpt_seq.txt
 echo
 echo "== fig3 campaign, checkpoint-fork parallel (--jobs $JOBS) =="
-t0=$(date +%s.%N)
+t0=$(now_s)
 ./target/release/fig3_execution_time --seeds "$SEEDS" --jobs "$JOBS" --warmup-checkpoint \
     --bench-json results/BENCH_campaign.json > results/fig3_par.txt
-t1=$(date +%s.%N)
-par_wall=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+t1=$(now_s)
+par_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b - a}')
 echo "checkpoint-fork parallel wall: ${par_wall}s"
 
 # Byte-compare checkpoint-fork output across --jobs, ignoring only the line
@@ -53,17 +66,29 @@ if ! cmp -s <(grep -v '^(wrote ' results/fig3_ckpt_seq.txt) \
 fi
 echo "checkpoint-fork parallel output is byte-identical to sequential."
 
-speedup=$(awk "BEGIN{printf \"%.2f\", $seq_wall / $par_wall}")
+speedup=$(awk -v s="$seq_wall" -v p="$par_wall" 'BEGIN{printf "%.2f", s / p}')
 echo
 echo "campaign speedup over classic sequential at $JOBS jobs: ${speedup}x"
 echo "throughput summary (checkpoint-fork parallel run):"
 cat results/BENCH_campaign.json
 
 # Append a trajectory datapoint so perf over time is greppable from the repo.
+# The line is validated as JSON first (an empty sed extraction would
+# otherwise poison the file), and the append goes through a tmp file + mv
+# so a crash mid-write can never leave a torn trailing line.
 git_sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 eps=$(sed -n 's/.*"events_per_second": \([0-9]*\).*/\1/p' results/BENCH_campaign.json)
 cps=$(sed -n 's/.*"simulated_cycles_per_second": \([0-9]*\).*/\1/p' results/BENCH_campaign.json)
-printf '{"git_sha": "%s", "date": "%s", "jobs": %s, "events_per_second": %s, "cycles_per_second": %s}\n' \
-    "$git_sha" "$date_iso" "$JOBS" "$eps" "$cps" >> results/BENCH_trajectory.jsonl
+line=$(printf '{"git_sha": "%s", "date": "%s", "jobs": %s, "events_per_second": %s, "cycles_per_second": %s}' \
+    "$git_sha" "$date_iso" "$JOBS" "$eps" "$cps")
+if ! printf '%s\n' "$line" | ./target/release/ftdircmp-serve json-check; then
+    echo "ERROR: refusing to append malformed trajectory line: $line" >&2
+    exit 1
+fi
+traj=results/BENCH_trajectory.jsonl
+tmp=$(mktemp results/.BENCH_trajectory.XXXXXX)
+if [ -f "$traj" ]; then cat "$traj" > "$tmp"; fi
+printf '%s\n' "$line" >> "$tmp"
+mv "$tmp" "$traj"
 echo "appended datapoint to results/BENCH_trajectory.jsonl"
