@@ -5,7 +5,7 @@
 use ftdircmp_bench::campaign::{run_campaign, Campaign, Cell};
 use ftdircmp_bench::{run_seed_fallible, run_spec};
 use ftdircmp_core::{SimReport, System, SystemConfig};
-use ftdircmp_noc::FaultConfig;
+use ftdircmp_noc::{Direction, FaultConfig, FaultDomainConfig, FaultEvent, RouterId};
 use ftdircmp_workloads::WorkloadSpec;
 
 /// Every observable field of the report, as a comparable string. Stats and
@@ -252,6 +252,79 @@ fn checkpoint_campaign_is_jobs_invariant() {
                 fingerprint(&jobs4[ci][seed]),
                 "{} seed {seed}: checkpoint campaign differs across --jobs",
                 cell.label
+            );
+        }
+    }
+}
+
+fn domain_cells() -> Vec<Cell> {
+    let spec = WorkloadSpec::named("water-sp").unwrap();
+    let flap = FaultDomainConfig::events(vec![FaultEvent::LinkFlap {
+        from: RouterId::new(5),
+        dir: Direction::East,
+        start: 2_000,
+        end: 10_000,
+    }]);
+    let burst = FaultDomainConfig::events(vec![FaultEvent::RegionBurst {
+        epicenter: RouterId::new(5),
+        radius: 1,
+        start: 2_000,
+        end: 8_000,
+    }]);
+    vec![
+        Cell::new(
+            "water-sp/flap",
+            spec.clone(),
+            SystemConfig::ftdircmp().with_fault_domains(flap),
+            2,
+        ),
+        Cell::new(
+            "water-sp/burst",
+            spec,
+            SystemConfig::ftdircmp().with_fault_domains(burst),
+            2,
+        ),
+    ]
+}
+
+/// Correlated fault-domain cells are invariant to `--jobs` and to the
+/// schedule seed of the surrounding campaign, in both classic and
+/// checkpoint-fork mode: per-link drop decisions are keyed by (domain
+/// seed, link, per-link count), never by a shared RNG stream (DESIGN.md
+/// §12).
+#[test]
+fn domain_campaign_is_jobs_invariant() {
+    let cells = domain_cells();
+    for warmup in [None, Some(60.0)] {
+        let opts = |jobs| Campaign {
+            jobs,
+            progress: false,
+            warmup_checkpoint: warmup,
+        };
+        let jobs1 = run_campaign(&cells, &opts(1));
+        let jobs4 = run_campaign(&cells, &opts(4));
+        for (ci, cell) in cells.iter().enumerate() {
+            for seed in 0..cell.seeds as usize {
+                assert_eq!(
+                    fingerprint(&jobs1[ci][seed]),
+                    fingerprint(&jobs4[ci][seed]),
+                    "{} seed {seed} (warmup {warmup:?}): domain campaign differs across --jobs",
+                    cell.label
+                );
+                assert_eq!(
+                    jobs1[ci][seed].fault_epochs, jobs4[ci][seed].fault_epochs,
+                    "{} seed {seed} (warmup {warmup:?}): recovery telemetry differs",
+                    cell.label
+                );
+            }
+        }
+        // The classic cells actually exercised the fault domains (under
+        // checkpoint-fork warmup the window may already have passed when
+        // faults install, which is fine — invariance is the claim here).
+        if warmup.is_none() {
+            assert!(
+                jobs1.iter().flatten().all(|r| r.messages_lost > 0),
+                "a domain cell never dropped anything"
             );
         }
     }

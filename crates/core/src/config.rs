@@ -1,6 +1,6 @@
 //! System configuration (paper Table 4).
 
-use ftdircmp_noc::{FaultConfig, MeshConfig, RoutingMode};
+use ftdircmp_noc::{FaultConfig, FaultDomainConfig, FaultEvent, MeshConfig, RoutingMode};
 
 /// Which coherence protocol the system runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -186,6 +186,14 @@ impl SystemConfig {
         self
     }
 
+    /// Installs a correlated fault-domain configuration (per-link channels
+    /// and scheduled flaps/brown-outs/bursts; see DESIGN.md §12). Composes
+    /// with the classic injector knobs, which stay untouched.
+    pub fn with_fault_domains(mut self, domains: FaultDomainConfig) -> Self {
+        self.mesh.faults.domains = Some(domains);
+        self
+    }
+
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -280,6 +288,25 @@ impl SystemConfig {
         if !self.protocol.is_fault_tolerant() && self.mesh.faults.is_faulty() {
             // Legal (it is exactly experiment E12) but worth noting: DirCMP
             // will deadlock. Validation passes.
+        }
+        self.mesh.faults.validate().map_err(|e| e.to_string())?;
+        if let Some(domains) = &self.mesh.faults.domains {
+            for (i, ev) in domains.events.iter().enumerate() {
+                let router = match *ev {
+                    FaultEvent::LinkFlap { from, .. } => from,
+                    FaultEvent::RouterBrownout { router, .. } => router,
+                    FaultEvent::RegionBurst { epicenter, .. } => epicenter,
+                };
+                if router.index() as u32 >= mesh_nodes {
+                    return Err(format!(
+                        "fault event {i} ({}) references router {router} outside the \
+                         {}x{} mesh",
+                        ev.label(),
+                        self.mesh.width,
+                        self.mesh.height
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -398,5 +425,43 @@ mod tests {
         let mut c = SystemConfig::ftdircmp();
         c.ft.lost_request_timeout = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_surfaces_fault_config_errors() {
+        // Satellite of DESIGN.md §12: the conflicting-drop-modes trap is
+        // caught at system construction, not silently resolved.
+        let mut c = SystemConfig::ftdircmp().with_fault_rate(250.0);
+        c.mesh.faults.drop_indices = Some(vec![3]);
+        assert!(c.validate().unwrap_err().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn validate_checks_domain_events_against_the_mesh() {
+        use ftdircmp_noc::{Direction, RouterId};
+
+        let flap = |r: u16| FaultEvent::LinkFlap {
+            from: RouterId::new(r),
+            dir: Direction::East,
+            start: 100,
+            end: 200,
+        };
+        let ok =
+            SystemConfig::ftdircmp().with_fault_domains(FaultDomainConfig::events(vec![flap(5)]));
+        assert!(ok.validate().is_ok());
+        assert!(ok.mesh.faults.is_faulty());
+
+        let bad =
+            SystemConfig::ftdircmp().with_fault_domains(FaultDomainConfig::events(vec![flap(16)]));
+        assert!(bad.validate().unwrap_err().contains("outside"));
+
+        let mut empty = FaultDomainConfig::events(vec![flap(5)]);
+        empty.events = vec![FaultEvent::RouterBrownout {
+            router: RouterId::new(2),
+            start: 9,
+            end: 9,
+        }];
+        let c = SystemConfig::ftdircmp().with_fault_domains(empty);
+        assert!(c.validate().unwrap_err().contains("empty window"));
     }
 }

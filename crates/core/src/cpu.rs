@@ -78,6 +78,13 @@ impl Cpu {
         self.outstanding.len()
     }
 
+    /// Line addresses of the misses currently in flight (issue order).
+    /// Watchdog diagnostics use this to name the lines a stalled core is
+    /// blocked on.
+    pub fn outstanding_lines(&self) -> &[LineAddr] {
+        &self.outstanding
+    }
+
     /// The operation at the program counter, if any.
     pub fn current_op(&self) -> Option<TraceOp> {
         self.trace.ops().get(self.pc).copied()

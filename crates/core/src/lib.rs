@@ -63,5 +63,5 @@ pub use msg::{Message, MsgType};
 pub use proto::TimeoutKind;
 pub use serial::{SerialAllocator, SerialNum};
 pub use stats::ProtocolStats;
-pub use system::{RunError, SimReport, System, SystemSnapshot};
+pub use system::{FaultEpochReport, RunError, SimReport, StalledCore, System, SystemSnapshot};
 pub use trace::{CoreTrace, TraceOp, Workload};

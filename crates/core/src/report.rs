@@ -83,6 +83,43 @@ impl SimReport {
             ));
         }
 
+        // Correlated fault-domain drops and recovery telemetry.
+        let domain_drops =
+            self.noc.link_down_drops() + self.noc.channel_drops() + self.noc.unroutable_drops();
+        if domain_drops > 0 {
+            out.push_str(&format!(
+                "fault domains: {} link-down, {} channel, {} unroutable drops\n",
+                self.noc.link_down_drops(),
+                self.noc.channel_drops(),
+                self.noc.unroutable_drops(),
+            ));
+        }
+        if !self.fault_epochs.is_empty() {
+            let mut t = Table::with_columns(&[
+                "fault epoch",
+                "lost",
+                "timeouts",
+                "reissues",
+                "pings",
+                "ops",
+                "recovery",
+            ]);
+            for e in &self.fault_epochs {
+                t.row(vec![
+                    e.label.clone(),
+                    e.messages_lost.to_string(),
+                    e.timeouts_fired.to_string(),
+                    e.reissues.to_string(),
+                    e.pings_sent.to_string(),
+                    e.mem_ops_retired.to_string(),
+                    e.time_to_recover()
+                        .map_or_else(|| "never".into(), |t| format!("{t} cycles")),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+
         // Traffic by class.
         let mut t = Table::with_columns(&["class", "messages", "bytes"]);
         for class in VcClass::ALL {

@@ -33,6 +33,32 @@ enum Event {
     },
 }
 
+/// One stalled core at deadlock-detection time: which lines it is blocked
+/// on and how far it got. Quarantine records and exploration reports use
+/// this to name the stuck line instead of just reporting "no progress".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalledCore {
+    /// Core index.
+    pub core: u8,
+    /// Line addresses of the misses still in flight (issue order).
+    pub pending_lines: Vec<LineAddr>,
+    /// Memory operations the core had retired before stalling.
+    pub mem_ops_done: u64,
+}
+
+impl std::fmt::Display for StalledCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core {} blocked on [", self.core)?;
+        for (i, line) in self.pending_lines.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{line}")?;
+        }
+        write!(f, "] after {} mem ops", self.mem_ops_done)
+    }
+}
+
 /// Why a run ended without completing the workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
@@ -45,6 +71,11 @@ pub enum RunError {
         at: u64,
         /// Cores still blocked on memory.
         blocked_cores: Vec<u8>,
+        /// Last cycle at which any core retired an operation.
+        last_progress: u64,
+        /// Per-core stall context: the lines each blocked core is waiting
+        /// on and its retirement progress.
+        stalled: Vec<StalledCore>,
         /// In-flight state of every controller at detection time.
         diagnostics: String,
     },
@@ -57,12 +88,21 @@ impl std::fmt::Display for RunError {
             RunError::Deadlock {
                 at,
                 blocked_cores,
+                last_progress,
+                stalled,
                 diagnostics,
-            } => write!(
-                f,
-                "deadlock detected at cycle {at}: {} cores blocked\n{diagnostics}",
-                blocked_cores.len()
-            ),
+            } => {
+                write!(
+                    f,
+                    "deadlock detected at cycle {at}: {} cores blocked \
+                     (no progress since cycle {last_progress})",
+                    blocked_cores.len()
+                )?;
+                for s in stalled {
+                    write!(f, "\n  {s}")?;
+                }
+                write!(f, "\n{diagnostics}")
+            }
         }
     }
 }
@@ -89,7 +129,8 @@ pub struct SimReport {
     pub noc: NocStats,
     /// Invariant violations found by the checker (must be empty).
     pub violations: Vec<String>,
-    /// Messages lost to injected faults.
+    /// Messages the network lost, to the fault injector or to correlated
+    /// fault domains (link flaps, degraded channels, unroutable drops).
     pub messages_lost: u64,
     /// Residual protocol activity never drained (diagnostic; should be 0).
     pub residual_activity: u64,
@@ -105,6 +146,83 @@ pub struct SimReport {
     /// `mesh.record_injections` was set; the exploration harness uses it to
     /// target drops at protocol-dense message classes.
     pub injection_classes: Vec<ftdircmp_noc::VcClass>,
+    /// Per-fault-epoch recovery telemetry, one entry per scheduled fault
+    /// event whose window opened during the run (empty without fault
+    /// domains). Campaigns use these to plot degradation/recovery curves.
+    pub fault_epochs: Vec<FaultEpochReport>,
+}
+
+/// Recovery telemetry for one scheduled fault event (DESIGN.md §12): what
+/// the protocol spent riding through the event and how quickly it resumed
+/// retiring work once the event cleared.
+///
+/// Counters cover the epoch window `[start, recovered_at)` — or
+/// `[start, end-of-run)` if the run finished before recovery was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEpochReport {
+    /// Event label (e.g. `"flap r1-east@[100,200)"`).
+    pub label: String,
+    /// First cycle of the event window.
+    pub start: u64,
+    /// First cycle after the event window.
+    pub end: u64,
+    /// Protocol timeouts fired during the epoch (all kinds).
+    pub timeouts_fired: u64,
+    /// Requests reissued during the epoch.
+    pub reissues: u64,
+    /// Recovery pings sent during the epoch.
+    pub pings_sent: u64,
+    /// Messages the network lost during the epoch (all causes).
+    pub messages_lost: u64,
+    /// Memory operations retired during the epoch (forward progress under
+    /// degradation).
+    pub mem_ops_retired: u64,
+    /// Cycle of the first operation retired at or after `end` — the moment
+    /// the system demonstrably recovered. `None` if the run finished (or
+    /// gave up) without retiring anything after the event cleared.
+    pub recovered_at: Option<u64>,
+}
+
+impl FaultEpochReport {
+    /// Cycles from the end of the event to the first retirement after it.
+    pub fn time_to_recover(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r.saturating_sub(self.end))
+    }
+}
+
+/// Counter snapshot used to delta per-epoch telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochMarks {
+    timeouts: u64,
+    reissues: u64,
+    pings: u64,
+    lost: u64,
+    ops: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpochPhase {
+    /// Window not yet reached.
+    Pending,
+    /// Inside the event window.
+    Active,
+    /// Window closed; waiting for the first retirement to stamp recovery.
+    AwaitingRecovery,
+    /// Recovery observed; totals frozen.
+    Done,
+}
+
+/// Tracks one scheduled fault event through the run.
+#[derive(Debug, Clone)]
+struct EpochTracker {
+    label: String,
+    start: u64,
+    end: u64,
+    phase: EpochPhase,
+    marks: EpochMarks,
+    /// Deltas frozen at recovery time (`None` until then).
+    totals: Option<EpochMarks>,
+    recovered_at: Option<u64>,
 }
 
 impl SimReport {
@@ -150,6 +268,13 @@ pub struct System {
     /// Whether the initial `CpuStep` events have been scheduled (set by the
     /// first `advance`, so a restored snapshot never re-schedules them).
     started: bool,
+    /// One tracker per scheduled fault event (empty without fault domains).
+    epochs: Vec<EpochTracker>,
+    /// Next cycle at which some epoch changes phase (`u64::MAX` when no
+    /// transition is pending) — the hot loop's one-compare gate.
+    next_epoch_boundary: u64,
+    /// Epochs past their window still waiting for a recovery retirement.
+    epochs_awaiting: usize,
     /// Scratch buffers reused across `dispatch` calls so the hot loop does
     /// not allocate three `Vec`s per event.
     scratch_out: Vec<Outgoing>,
@@ -190,6 +315,9 @@ impl Clone for System {
             core_done: self.core_done.clone(),
             cores_done: self.cores_done,
             started: self.started,
+            epochs: self.epochs.clone(),
+            next_epoch_boundary: self.next_epoch_boundary,
+            epochs_awaiting: self.epochs_awaiting,
             scratch_out: Vec::new(),
             scratch_timeouts: Vec::new(),
             scratch_completions: Vec::new(),
@@ -260,6 +388,8 @@ impl System {
         let core_done: Vec<bool> = cpus.iter().map(Cpu::is_done).collect();
         let cores_done = core_done.iter().filter(|d| **d).count();
         let queue = EventQueue::with_schedule_seed(config.schedule_seed);
+        let epochs = Self::epoch_trackers(&config.mesh.faults);
+        let next_epoch_boundary = Self::next_epoch_boundary_of(&epochs);
         Ok(System {
             config,
             queue,
@@ -277,6 +407,9 @@ impl System {
             core_done,
             cores_done,
             started: false,
+            epochs,
+            next_epoch_boundary,
+            epochs_awaiting: 0,
             scratch_out: Vec::new(),
             scratch_timeouts: Vec::new(),
             scratch_completions: Vec::new(),
@@ -318,6 +451,136 @@ impl System {
             out.push_str(&c.pending_summary());
         }
         out
+    }
+
+    /// Per-core stall context for deadlock reports.
+    fn stalled_cores(&self) -> Vec<StalledCore> {
+        self.cpus
+            .iter()
+            .filter(|c| !c.is_done())
+            .map(|c| StalledCore {
+                core: c.core(),
+                pending_lines: c.outstanding_lines().to_vec(),
+                mem_ops_done: c.mem_ops_done(),
+            })
+            .collect()
+    }
+
+    /// One tracker per scheduled fault event in `faults`.
+    fn epoch_trackers(faults: &FaultConfig) -> Vec<EpochTracker> {
+        faults.domains.as_ref().map_or_else(Vec::new, |d| {
+            d.events
+                .iter()
+                .map(|ev| {
+                    let (start, end) = ev.window();
+                    EpochTracker {
+                        label: ev.label(),
+                        start,
+                        end,
+                        phase: EpochPhase::Pending,
+                        marks: EpochMarks::default(),
+                        totals: None,
+                        recovered_at: None,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Earliest cycle at which any epoch changes phase.
+    fn next_epoch_boundary_of(epochs: &[EpochTracker]) -> u64 {
+        epochs
+            .iter()
+            .filter_map(|e| match e.phase {
+                EpochPhase::Pending => Some(e.start),
+                EpochPhase::Active => Some(e.end),
+                EpochPhase::AwaitingRecovery | EpochPhase::Done => None,
+            })
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Current values of the counters the epoch telemetry deltas.
+    fn epoch_counters(&self) -> EpochMarks {
+        EpochMarks {
+            timeouts: self.stats.total_timeouts(),
+            reissues: self.stats.reissues.get(),
+            pings: self.stats.messages_by_class(ftdircmp_noc::VcClass::Ping),
+            lost: self.mesh.stats().total_dropped(),
+            ops: self.retired_mem_ops(),
+        }
+    }
+
+    /// Advances epoch phases across `now`. Counters only move on event
+    /// dispatch, so taking the marks at the first event at-or-after a
+    /// boundary is exact.
+    fn update_epochs(&mut self, now: u64) {
+        let counters = self.epoch_counters();
+        let mut newly_awaiting = 0;
+        for e in &mut self.epochs {
+            if e.phase == EpochPhase::Pending && e.start <= now {
+                e.marks = counters;
+                e.phase = EpochPhase::Active;
+            }
+            if e.phase == EpochPhase::Active && e.end <= now {
+                e.phase = EpochPhase::AwaitingRecovery;
+                newly_awaiting += 1;
+            }
+        }
+        self.epochs_awaiting += newly_awaiting;
+        self.next_epoch_boundary = Self::next_epoch_boundary_of(&self.epochs);
+    }
+
+    /// Stamps recovery on every epoch whose window has closed: `now` is the
+    /// cycle of the first retirement after the event cleared.
+    fn note_epoch_recovery(&mut self, now: u64) {
+        let counters = self.epoch_counters();
+        let mut recovered = 0;
+        for e in &mut self.epochs {
+            if e.phase == EpochPhase::AwaitingRecovery {
+                e.recovered_at = Some(now);
+                e.totals = Some(EpochMarks {
+                    timeouts: counters.timeouts - e.marks.timeouts,
+                    reissues: counters.reissues - e.marks.reissues,
+                    pings: counters.pings - e.marks.pings,
+                    lost: counters.lost - e.marks.lost,
+                    ops: counters.ops - e.marks.ops,
+                });
+                e.phase = EpochPhase::Done;
+                recovered += 1;
+            }
+        }
+        self.epochs_awaiting -= recovered;
+    }
+
+    /// Renders the epoch trackers into report entries; epochs that never
+    /// opened are omitted, unfinished ones delta against the final counters.
+    fn fault_epoch_reports(&self) -> Vec<FaultEpochReport> {
+        let current = self.epoch_counters();
+        self.epochs
+            .iter()
+            .filter(|e| e.phase != EpochPhase::Pending)
+            .map(|e| {
+                let t = e.totals.unwrap_or(EpochMarks {
+                    timeouts: current.timeouts - e.marks.timeouts,
+                    reissues: current.reissues - e.marks.reissues,
+                    pings: current.pings - e.marks.pings,
+                    lost: current.lost - e.marks.lost,
+                    ops: current.ops - e.marks.ops,
+                });
+                FaultEpochReport {
+                    label: e.label.clone(),
+                    start: e.start,
+                    end: e.end,
+                    timeouts_fired: t.timeouts,
+                    reissues: t.reissues,
+                    pings_sent: t.pings,
+                    messages_lost: t.lost,
+                    mem_ops_retired: t.ops,
+                    recovered_at: e.recovered_at,
+                }
+            })
+            .collect()
     }
 
     fn residual_activity(&self) -> u64 {
@@ -370,6 +633,11 @@ impl System {
         let watchdog = self.config.watchdog_cycles;
 
         while let Some((now, ev)) = self.queue.pop() {
+            // Fault-epoch bookkeeping: one compare per event when domains
+            // are configured, a cold branch otherwise.
+            if now.as_u64() >= self.next_epoch_boundary {
+                self.update_epochs(now.as_u64());
+            }
             // Deadlock watchdog: cores alive but nothing retiring.
             if !self.all_cores_done() && now.saturating_since(self.last_progress) > watchdog {
                 let blocked: Vec<u8> = self
@@ -381,6 +649,8 @@ impl System {
                 return Err(RunError::Deadlock {
                     at: now.as_u64(),
                     blocked_cores: blocked,
+                    last_progress: self.last_progress.as_u64(),
+                    stalled: self.stalled_cores(),
                     diagnostics: self.diagnostics(),
                 });
             }
@@ -413,10 +683,13 @@ impl System {
             return Err(RunError::Deadlock {
                 at: self.queue.now().as_u64(),
                 blocked_cores: blocked,
+                last_progress: self.last_progress.as_u64(),
+                stalled: self.stalled_cores(),
                 diagnostics: self.diagnostics(),
             });
         }
 
+        let fault_epochs = self.fault_epoch_reports();
         let residual_activity = self.residual_activity();
         let elapsed = self.queue.now().as_u64().max(1);
         let max_link_utilization = self.mesh.max_link_utilization(elapsed);
@@ -430,12 +703,13 @@ impl System {
             stats: self.stats,
             noc: self.mesh.stats().clone(),
             violations: self.checker.violations().to_vec(),
-            messages_lost: self.mesh.fault_injector().messages_dropped(),
+            messages_lost: self.mesh.stats().total_dropped(),
             residual_activity,
             max_link_utilization,
             mean_link_utilization,
             events: self.queue.scheduled_total(),
             injection_classes: self.mesh.fault_injector().injection_log().to_vec(),
+            fault_epochs,
         };
         Ok(report)
     }
@@ -464,6 +738,11 @@ impl System {
     /// the same point (see [`ftdircmp_noc::FaultInjector::set_config`]).
     pub fn set_fault_config(&mut self, faults: FaultConfig) {
         self.config.mesh.faults = faults.clone();
+        // Fresh epoch trackers for the incoming fault schedule: the warmup
+        // ran fault-free, so no epoch can already be in flight.
+        self.epochs = Self::epoch_trackers(&faults);
+        self.next_epoch_boundary = Self::next_epoch_boundary_of(&self.epochs);
+        self.epochs_awaiting = 0;
         self.mesh.set_fault_config(faults);
     }
 
@@ -655,6 +934,9 @@ impl System {
 
     fn note_core_progress(&mut self, now: Cycle, core: usize) {
         self.last_progress = now;
+        if self.epochs_awaiting > 0 {
+            self.note_epoch_recovery(now.as_u64());
+        }
         if !self.core_done[core] && self.cpus[core].is_done() {
             self.core_done[core] = true;
             self.cores_done += 1;

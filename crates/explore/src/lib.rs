@@ -96,14 +96,31 @@ pub struct Failure {
 pub fn classify(workload: &Workload, result: &Result<SimReport, RunError>) -> Option<Failure> {
     match result {
         Err(RunError::Deadlock {
-            at, blocked_cores, ..
-        }) => Some(Failure {
-            kind: FailureKind::Deadlock,
-            detail: format!(
-                "deadlock at cycle {at}: {} core(s) blocked",
-                blocked_cores.len()
-            ),
-        }),
+            at,
+            blocked_cores,
+            stalled,
+            ..
+        }) => {
+            // Name the stuck line so quarantine records say *what* hung,
+            // not just that something did.
+            let stuck = stalled
+                .iter()
+                .find_map(|s| s.pending_lines.first().map(|l| (s.core, *l)));
+            let detail = match stuck {
+                Some((core, line)) => format!(
+                    "deadlock at cycle {at}: {} core(s) blocked, core {core} stuck on {line}",
+                    blocked_cores.len()
+                ),
+                None => format!(
+                    "deadlock at cycle {at}: {} core(s) blocked",
+                    blocked_cores.len()
+                ),
+            };
+            Some(Failure {
+                kind: FailureKind::Deadlock,
+                detail,
+            })
+        }
         Err(RunError::InvalidConfig(e)) => Some(Failure {
             kind: FailureKind::Violation,
             detail: format!("invalid configuration: {e}"),
@@ -493,11 +510,20 @@ mod tests {
         let deadlock: Result<SimReport, RunError> = Err(RunError::Deadlock {
             at: 5,
             blocked_cores: vec![0],
+            last_progress: 2,
+            stalled: vec![ftdircmp_core::StalledCore {
+                core: 0,
+                pending_lines: vec![ftdircmp_core::LineAddr(0x40)],
+                mem_ops_done: 1,
+            }],
             diagnostics: String::new(),
         });
-        assert_eq!(
-            classify(&wl, &deadlock).unwrap().kind,
-            FailureKind::Deadlock
+        let failure = classify(&wl, &deadlock).unwrap();
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+        assert!(
+            failure.detail.contains("core 0 stuck on line:0x40"),
+            "detail must name the stuck line: {}",
+            failure.detail
         );
 
         let mut clean = System::run_workload(SystemConfig::ftdircmp(), &wl).unwrap();

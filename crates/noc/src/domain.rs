@@ -1,0 +1,546 @@
+//! Correlated fault domains: per-link channels and scheduled fault events.
+//!
+//! The paper's fault model (§3, [`crate::FaultConfig`]) is a single global
+//! drop lottery: every message in the mesh faces the same Bernoulli/burst
+//! coin regardless of which link it traverses. Real transient faults are
+//! spatially and temporally correlated — a marginal link flaps, a router
+//! neighborhood browns out, a burst hits one region. This module adds that
+//! structure *under* the existing injector (DESIGN.md §12):
+//!
+//! * **Per-link channels** — every [`crate::LinkId`] gets its own
+//!   Gilbert–Elliott good/bad two-state channel. Channel decisions are pure
+//!   hash functions of `(domain seed, link index, per-link message count)`,
+//!   not draws from a shared RNG stream, so the decision *stream* of each
+//!   link is invariant to the schedule seed, `--jobs`, and whatever traffic
+//!   the other links carry.
+//! * **Scheduled fault events** — a deterministic timeline of link flaps
+//!   (hard-down over `[start, end)`), router brown-outs (all adjacent links
+//!   degraded), and region bursts (all links within a Manhattan radius of an
+//!   epicenter forced into the bad state together).
+//!
+//! None of this is consulted unless [`crate::FaultConfig::domains`] is set,
+//! so every existing configuration keeps its byte-identical behaviour.
+
+use ftdircmp_sim::splitmix64;
+
+use crate::{Direction, RouterId};
+
+/// Gilbert–Elliott two-state (good/bad) channel parameters, applied to
+/// every link of the mesh.
+///
+/// Each message traversing a link first steps the link's state machine
+/// (good→bad with `p_enter_bad`, bad→good with `p_exit_bad`), then is
+/// dropped with the state's loss probability. Scheduled events
+/// ([`FaultEvent::RouterBrownout`], [`FaultEvent::RegionBurst`]) force
+/// affected links to behave as bad for the event window regardless of their
+/// channel state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkChannelConfig {
+    /// Per-message probability that a good link turns bad.
+    pub p_enter_bad: f64,
+    /// Per-message probability that a bad link recovers.
+    pub p_exit_bad: f64,
+    /// Per-message loss probability while the link is good.
+    pub drop_good: f64,
+    /// Per-message loss probability while the link is bad (or forced bad by
+    /// an active event).
+    pub drop_bad: f64,
+}
+
+impl LinkChannelConfig {
+    /// A channel that never transitions and never drops on its own: only
+    /// event-forced bad states lose messages (at `drop_bad`). This is the
+    /// effective channel when a domain config schedules events without
+    /// configuring per-link channels.
+    pub fn passthrough(drop_bad: f64) -> Self {
+        LinkChannelConfig {
+            p_enter_bad: 0.0,
+            p_exit_bad: 1.0,
+            drop_good: 0.0,
+            drop_bad,
+        }
+    }
+}
+
+/// Loss probability applied inside degraded windows when no explicit
+/// channel is configured (see [`FaultDomainConfig::effective_channel`]).
+pub const DEFAULT_DEGRADED_DROP: f64 = 0.25;
+
+/// One scheduled correlated-fault event. All windows are half-open cycle
+/// intervals `[start, end)` in absolute simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// One directional link is hard-down for the window: nothing traverses
+    /// it. Under XY routing, messages routed over it are lost; adaptive
+    /// routing steers around it where a minimal alternative survives.
+    LinkFlap {
+        /// Source router of the flapping link.
+        from: RouterId,
+        /// Direction the flapping link points.
+        dir: Direction,
+        /// First cycle of the outage.
+        start: u64,
+        /// First cycle after the outage.
+        end: u64,
+    },
+    /// Every link adjacent to the router (outgoing and incoming) is
+    /// degraded — forced into the bad channel state — for the window.
+    RouterBrownout {
+        /// The browned-out router.
+        router: RouterId,
+        /// First cycle of the brown-out.
+        start: u64,
+        /// First cycle after the brown-out.
+        end: u64,
+    },
+    /// Every link whose source router lies within `radius` Manhattan hops
+    /// of the epicenter is degraded for the window.
+    RegionBurst {
+        /// Center of the burst region.
+        epicenter: RouterId,
+        /// Manhattan radius in hops (0 = the epicenter's own links).
+        radius: u32,
+        /// First cycle of the burst.
+        start: u64,
+        /// First cycle after the burst.
+        end: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The event's `[start, end)` window.
+    pub fn window(&self) -> (u64, u64) {
+        match *self {
+            FaultEvent::LinkFlap { start, end, .. }
+            | FaultEvent::RouterBrownout { start, end, .. }
+            | FaultEvent::RegionBurst { start, end, .. } => (start, end),
+        }
+    }
+
+    /// Whether the event is active at `now`.
+    pub fn active_at(&self, now: u64) -> bool {
+        let (start, end) = self.window();
+        start <= now && now < end
+    }
+
+    /// Whether this event takes links hard-down (affects routing), as
+    /// opposed to merely degrading them (affects loss probability only).
+    pub fn is_hard_down(&self) -> bool {
+        matches!(self, FaultEvent::LinkFlap { .. })
+    }
+
+    /// Short label used in recovery telemetry
+    /// (e.g. `"flap r5-east@[100,200)"`).
+    pub fn label(&self) -> String {
+        match *self {
+            FaultEvent::LinkFlap {
+                from,
+                dir,
+                start,
+                end,
+            } => format!("flap {from}-{}@[{start},{end})", dir.label()),
+            FaultEvent::RouterBrownout { router, start, end } => {
+                format!("brownout {router}@[{start},{end})")
+            }
+            FaultEvent::RegionBurst {
+                epicenter,
+                radius,
+                start,
+                end,
+            } => format!("burst {epicenter}+r{radius}@[{start},{end})"),
+        }
+    }
+}
+
+/// Correlated fault-domain configuration: an optional per-link channel
+/// model plus a deterministic event timeline.
+///
+/// # Example
+///
+/// ```
+/// use ftdircmp_noc::{Direction, FaultDomainConfig, FaultEvent, RouterId};
+///
+/// let domains = FaultDomainConfig::events(vec![FaultEvent::LinkFlap {
+///     from: RouterId::new(5),
+///     dir: Direction::East,
+///     start: 1_000,
+///     end: 2_000,
+/// }]);
+/// assert!(domains.validate().is_ok());
+/// assert!(domains.is_active());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDomainConfig {
+    /// Seed for the per-link decision hash. Deliberately separate from the
+    /// run's master seed: the same domain behaves identically across
+    /// schedule seeds and worker counts.
+    pub domain_seed: u64,
+    /// Per-link Gilbert–Elliott channel, applied to every link. `None`
+    /// means links only drop inside event-degraded windows.
+    pub channel: Option<LinkChannelConfig>,
+    /// Scheduled correlated-fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultDomainConfig {
+    /// A domain with only scheduled events (no ambient channel noise).
+    pub fn events(events: Vec<FaultEvent>) -> Self {
+        FaultDomainConfig {
+            domain_seed: 0xD0_7A1F,
+            channel: None,
+            events,
+        }
+    }
+
+    /// A domain with only an ambient per-link channel (no events).
+    pub fn channel(channel: LinkChannelConfig) -> Self {
+        FaultDomainConfig {
+            domain_seed: 0xD0_7A1F,
+            channel: Some(channel),
+            events: Vec::new(),
+        }
+    }
+
+    /// Sets the domain seed.
+    pub fn with_seed(mut self, domain_seed: u64) -> Self {
+        self.domain_seed = domain_seed;
+        self
+    }
+
+    /// Sets the per-link channel model.
+    pub fn with_channel(mut self, channel: LinkChannelConfig) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// Whether the domain can affect any message.
+    pub fn is_active(&self) -> bool {
+        self.channel.is_some() || !self.events.is_empty()
+    }
+
+    /// The channel parameters actually applied per link: the configured
+    /// channel, or a passthrough that only loses messages inside
+    /// event-degraded windows (at [`DEFAULT_DEGRADED_DROP`]).
+    pub fn effective_channel(&self) -> LinkChannelConfig {
+        self.channel
+            .clone()
+            .unwrap_or_else(|| LinkChannelConfig::passthrough(DEFAULT_DEGRADED_DROP))
+    }
+
+    /// Validates channel probabilities and event windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultConfigError`] found: a probability outside
+    /// `[0, 1]` or an empty/inverted event window.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if let Some(ch) = &self.channel {
+            for (field, value) in [
+                ("p_enter_bad", ch.p_enter_bad),
+                ("p_exit_bad", ch.p_exit_bad),
+                ("drop_good", ch.drop_good),
+                ("drop_bad", ch.drop_bad),
+            ] {
+                if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                    return Err(FaultConfigError::InvalidProbability { field, value });
+                }
+            }
+        }
+        for (index, ev) in self.events.iter().enumerate() {
+            let (start, end) = ev.window();
+            if start >= end {
+                return Err(FaultConfigError::EmptyEventWindow { index, start, end });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed fault-configuration error, surfaced through
+/// [`crate::FaultConfig::validate`] at system construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultConfigError {
+    /// Both `drop_indices` and a probabilistic `loss_per_million` were set.
+    /// The deterministic schedule silently shadowed the rate before this
+    /// error existed; now the conflict is rejected up front.
+    ConflictingDropModes {
+        /// The shadowed probabilistic rate.
+        loss_per_million: f64,
+        /// Number of scheduled drop indices.
+        indices: usize,
+    },
+    /// A channel probability is outside `[0, 1]`.
+    InvalidProbability {
+        /// Which [`LinkChannelConfig`] field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fault event's `[start, end)` window is empty or inverted.
+    EmptyEventWindow {
+        /// Index into [`FaultDomainConfig::events`].
+        index: usize,
+        /// Window start.
+        start: u64,
+        /// Window end.
+        end: u64,
+    },
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::ConflictingDropModes {
+                loss_per_million,
+                indices,
+            } => write!(
+                f,
+                "drop_indices ({indices} scheduled) and loss_per_million ({loss_per_million}) \
+                 are mutually exclusive: the deterministic schedule would silently shadow the rate"
+            ),
+            FaultConfigError::InvalidProbability { field, value } => {
+                write!(f, "link channel {field} = {value} is not a probability")
+            }
+            FaultConfigError::EmptyEventWindow { index, start, end } => {
+                write!(f, "fault event {index} has empty window [{start},{end})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// Converts a hash to a unit float in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The two unit draws for decision `count` on link `link`: the state-
+/// transition draw and the drop draw. A pure function — no shared stream —
+/// so per-link decisions are independent of scheduling and of each other.
+pub fn link_decision(domain_seed: u64, link: usize, count: u64) -> (f64, f64) {
+    let per_link =
+        splitmix64(domain_seed).wrapping_add((link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let h1 = splitmix64(per_link ^ splitmix64(count));
+    let h2 = splitmix64(h1 ^ 0xA5A5_A5A5_A5A5_A5A5);
+    (unit(h1), unit(h2))
+}
+
+/// Per-link Gilbert–Elliott channel state: the current good/bad flag and
+/// the number of messages this link has carried (the decision counter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkChannel {
+    bad: bool,
+    count: u64,
+}
+
+impl LinkChannel {
+    /// Whether the channel is currently in the bad state.
+    pub fn is_bad(self) -> bool {
+        self.bad
+    }
+
+    /// Messages this link has carried (decisions consumed).
+    pub fn count(self) -> u64 {
+        self.count
+    }
+
+    /// Steps the channel for one message on link `link` and decides whether
+    /// the message is lost. `forced_bad` applies an event-degraded window:
+    /// the drop draw uses `drop_bad` regardless of channel state.
+    pub fn step(
+        &mut self,
+        cfg: &LinkChannelConfig,
+        domain_seed: u64,
+        link: usize,
+        forced_bad: bool,
+    ) -> bool {
+        let (transition, drop) = link_decision(domain_seed, link, self.count);
+        self.count += 1;
+        if self.bad {
+            if transition < cfg.p_exit_bad {
+                self.bad = false;
+            }
+        } else if transition < cfg.p_enter_bad {
+            self.bad = true;
+        }
+        let p = if self.bad || forced_bad {
+            cfg.drop_bad
+        } else {
+            cfg.drop_good
+        };
+        drop < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flap(start: u64, end: u64) -> FaultEvent {
+        FaultEvent::LinkFlap {
+            from: RouterId::new(1),
+            dir: Direction::East,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn event_windows_are_half_open() {
+        let ev = flap(100, 200);
+        assert!(!ev.active_at(99));
+        assert!(ev.active_at(100));
+        assert!(ev.active_at(199));
+        assert!(!ev.active_at(200));
+        assert_eq!(ev.window(), (100, 200));
+        assert!(ev.is_hard_down());
+        assert!(!FaultEvent::RouterBrownout {
+            router: RouterId::new(0),
+            start: 0,
+            end: 1,
+        }
+        .is_hard_down());
+    }
+
+    #[test]
+    fn labels_identify_events() {
+        assert_eq!(flap(100, 200).label(), "flap r1-east@[100,200)");
+        let b = FaultEvent::RegionBurst {
+            epicenter: RouterId::new(5),
+            radius: 2,
+            start: 10,
+            end: 20,
+        };
+        assert_eq!(b.label(), "burst r5+r2@[10,20)");
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities_and_windows() {
+        let mut d = FaultDomainConfig::channel(LinkChannelConfig {
+            p_enter_bad: 1.5,
+            p_exit_bad: 0.5,
+            drop_good: 0.0,
+            drop_bad: 0.5,
+        });
+        assert!(matches!(
+            d.validate(),
+            Err(FaultConfigError::InvalidProbability {
+                field: "p_enter_bad",
+                ..
+            })
+        ));
+        d.channel = None;
+        d.events = vec![flap(200, 200)];
+        assert!(matches!(
+            d.validate(),
+            Err(FaultConfigError::EmptyEventWindow { index: 0, .. })
+        ));
+        d.events = vec![flap(100, 200)];
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_channel_defaults_to_passthrough() {
+        let d = FaultDomainConfig::events(vec![flap(0, 10)]);
+        let ch = d.effective_channel();
+        assert_eq!(ch.p_enter_bad, 0.0);
+        assert_eq!(ch.drop_good, 0.0);
+        assert_eq!(ch.drop_bad, DEFAULT_DEGRADED_DROP);
+    }
+
+    #[test]
+    fn link_decisions_are_pure_functions() {
+        for link in [0usize, 7, 63] {
+            for count in [0u64, 1, 1000] {
+                assert_eq!(
+                    link_decision(42, link, count),
+                    link_decision(42, link, count)
+                );
+            }
+        }
+        // Distinct links and counts decorrelate.
+        assert_ne!(link_decision(42, 0, 0), link_decision(42, 1, 0));
+        assert_ne!(link_decision(42, 0, 0), link_decision(42, 0, 1));
+        assert_ne!(link_decision(42, 0, 0), link_decision(43, 0, 0));
+    }
+
+    #[test]
+    fn channel_respects_drop_probabilities() {
+        let cfg = LinkChannelConfig::passthrough(1.0);
+        let mut ch = LinkChannel::default();
+        // Good state with drop_good = 0: never drops.
+        for _ in 0..100 {
+            assert!(!ch.step(&cfg, 1, 0, false));
+        }
+        // Forced bad with drop_bad = 1: always drops.
+        for _ in 0..100 {
+            assert!(ch.step(&cfg, 1, 0, true));
+        }
+        assert_eq!(ch.count(), 200);
+        assert!(!ch.is_bad(), "passthrough channel never transitions");
+    }
+
+    #[test]
+    fn channel_transitions_are_sticky() {
+        // Enter bad almost surely, never leave: after a while the channel
+        // drops at the bad rate.
+        let cfg = LinkChannelConfig {
+            p_enter_bad: 1.0,
+            p_exit_bad: 0.0,
+            drop_good: 0.0,
+            drop_bad: 1.0,
+        };
+        let mut ch = LinkChannel::default();
+        // First step transitions good->bad and then drops at drop_bad.
+        assert!(ch.step(&cfg, 9, 3, false));
+        assert!(ch.is_bad());
+        for _ in 0..50 {
+            assert!(ch.step(&cfg, 9, 3, false));
+        }
+    }
+
+    #[test]
+    fn channel_loss_rate_roughly_matches_stationary_mix() {
+        // p_enter = p_exit = 0.5 → half the time bad; drop_bad = 0.6,
+        // drop_good = 0.0 → ~30% loss.
+        let cfg = LinkChannelConfig {
+            p_enter_bad: 0.5,
+            p_exit_bad: 0.5,
+            drop_good: 0.0,
+            drop_bad: 0.6,
+        };
+        let mut ch = LinkChannel::default();
+        let drops = (0..20_000).filter(|_| ch.step(&cfg, 77, 5, false)).count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((0.25..0.35).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn decision_stream_is_invariant_to_interleaving() {
+        // The same link consuming the same counts produces the same
+        // decisions no matter what other links do in between — the property
+        // that makes domain drops schedule- and jobs-invariant.
+        let cfg = LinkChannelConfig {
+            p_enter_bad: 0.2,
+            p_exit_bad: 0.3,
+            drop_good: 0.05,
+            drop_bad: 0.8,
+        };
+        let mut alone = LinkChannel::default();
+        let solo: Vec<bool> = (0..500).map(|_| alone.step(&cfg, 11, 4, false)).collect();
+
+        let mut interleaved = LinkChannel::default();
+        let mut other = LinkChannel::default();
+        let mixed: Vec<bool> = (0..500)
+            .map(|i| {
+                // Other links consume their own decisions in between.
+                if i % 3 == 0 {
+                    other.step(&cfg, 11, 9, false);
+                }
+                interleaved.step(&cfg, 11, 4, false)
+            })
+            .collect();
+        assert_eq!(solo, mixed);
+    }
+}

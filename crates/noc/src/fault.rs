@@ -11,6 +11,7 @@
 
 use ftdircmp_sim::DetRng;
 
+use crate::domain::{FaultConfigError, FaultDomainConfig};
 use crate::VcClass;
 
 /// Fault-injection configuration.
@@ -40,10 +41,17 @@ pub struct FaultConfig {
     pub only_classes: Option<Vec<VcClass>>,
     /// Deterministic schedule: drop exactly the messages with these 0-based
     /// injection indices (message order is deterministic given the seed).
-    /// Overrides the probabilistic rate. Enables exhaustive single-fault
-    /// sweeps: "for every message in this run, losing exactly that message
-    /// is recovered".
+    /// Mutually exclusive with a probabilistic rate
+    /// ([`FaultConfig::validate`] rejects the combination). Enables
+    /// exhaustive single-fault sweeps: "for every message in this run,
+    /// losing exactly that message is recovered".
     pub drop_indices: Option<Vec<u64>>,
+    /// Correlated fault domains: per-link Gilbert–Elliott channels and a
+    /// deterministic timeline of link flaps / brown-outs / region bursts
+    /// (see [`FaultDomainConfig`], DESIGN.md §12). `None` (the value every
+    /// constructor sets) keeps the historical single-global-coin model
+    /// byte-identical.
+    pub domains: Option<FaultDomainConfig>,
 }
 
 impl FaultConfig {
@@ -55,6 +63,7 @@ impl FaultConfig {
             burst_cap: 0,
             only_classes: None,
             drop_indices: None,
+            domains: None,
         }
     }
 
@@ -66,6 +75,7 @@ impl FaultConfig {
             burst_cap: 0,
             only_classes: None,
             drop_indices: None,
+            domains: None,
         }
     }
 
@@ -79,6 +89,7 @@ impl FaultConfig {
             burst_cap,
             only_classes: None,
             drop_indices: None,
+            domains: None,
         }
     }
 
@@ -90,6 +101,7 @@ impl FaultConfig {
             burst_cap: 0,
             only_classes: Some(classes),
             drop_indices: None,
+            domains: None,
         }
     }
 
@@ -101,12 +113,24 @@ impl FaultConfig {
             burst_cap: 0,
             only_classes: None,
             drop_indices: Some(indices),
+            domains: None,
         }
+    }
+
+    /// Attaches a correlated fault-domain configuration (builder form).
+    pub fn with_domains(mut self, domains: FaultDomainConfig) -> Self {
+        self.domains = Some(domains);
+        self
     }
 
     /// Whether this configuration can ever drop a message.
     pub fn is_faulty(&self) -> bool {
-        self.loss_per_million > 0.0 || self.drop_indices.as_ref().is_some_and(|v| !v.is_empty())
+        self.loss_per_million > 0.0
+            || self.drop_indices.as_ref().is_some_and(|v| !v.is_empty())
+            || self
+                .domains
+                .as_ref()
+                .is_some_and(FaultDomainConfig::is_active)
     }
 
     /// Whether messages of `class` are eligible for injection.
@@ -114,6 +138,29 @@ impl FaultConfig {
         self.only_classes
             .as_ref()
             .is_none_or(|cs| cs.contains(&class))
+    }
+
+    /// Validates the configuration, rejecting the silent-precedence trap
+    /// (`drop_indices` together with a probabilistic rate — the schedule
+    /// used to shadow the rate without warning) and any malformed fault
+    /// domain. Called from `SystemConfig::validate` at construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultConfigError`] found.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if self.loss_per_million > 0.0 {
+            if let Some(indices) = self.drop_indices.as_ref().filter(|v| !v.is_empty()) {
+                return Err(FaultConfigError::ConflictingDropModes {
+                    loss_per_million: self.loss_per_million,
+                    indices: indices.len(),
+                });
+            }
+        }
+        if let Some(domains) = &self.domains {
+            domains.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -439,5 +486,67 @@ mod tests {
         assert!(!FaultConfig::none().is_faulty());
         assert!(FaultConfig::per_million(1.0).is_faulty());
         assert!(!FaultConfig::default().is_faulty());
+        let domains = FaultConfig::none().with_domains(FaultDomainConfig::events(vec![
+            crate::FaultEvent::LinkFlap {
+                from: crate::RouterId::new(0),
+                dir: crate::Direction::East,
+                start: 0,
+                end: 100,
+            },
+        ]));
+        assert!(domains.is_faulty());
+        let idle = FaultConfig::none().with_domains(FaultDomainConfig::events(Vec::new()));
+        assert!(!idle.is_faulty());
+    }
+
+    #[test]
+    fn validate_rejects_conflicting_drop_modes() {
+        // The silent precedence trap: drop_indices used to shadow the
+        // probabilistic rate without warning. Now it is a typed error.
+        let cfg = FaultConfig {
+            loss_per_million: 250.0,
+            drop_indices: Some(vec![3, 7]),
+            ..FaultConfig::none()
+        };
+        match cfg.validate() {
+            Err(crate::FaultConfigError::ConflictingDropModes {
+                loss_per_million,
+                indices,
+            }) => {
+                assert_eq!(loss_per_million, 250.0);
+                assert_eq!(indices, 2);
+            }
+            other => panic!("expected ConflictingDropModes, got {other:?}"),
+        }
+        // An empty schedule does not conflict (nothing to shadow with).
+        let empty = FaultConfig {
+            loss_per_million: 250.0,
+            drop_indices: Some(Vec::new()),
+            ..FaultConfig::none()
+        };
+        assert!(empty.validate().is_ok());
+        // drop_indices + only_classes stays legal (pinned above by
+        // drop_schedule_mixed_with_untargeted_classes_keeps_global_indices).
+        let targeted = FaultConfig {
+            drop_indices: Some(vec![2, 0]),
+            only_classes: Some(vec![VcClass::Request]),
+            ..FaultConfig::none()
+        };
+        assert!(targeted.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_surfaces_domain_errors() {
+        let cfg = FaultConfig::none().with_domains(FaultDomainConfig::events(vec![
+            crate::FaultEvent::RouterBrownout {
+                router: crate::RouterId::new(5),
+                start: 9,
+                end: 9,
+            },
+        ]));
+        assert!(matches!(
+            cfg.validate(),
+            Err(crate::FaultConfigError::EmptyEventWindow { index: 0, .. })
+        ));
     }
 }

@@ -10,7 +10,11 @@
 //! message is either delivered intact or dropped — corruption is detected by
 //! a per-message CRC at the receiver and the message is discarded, which is
 //! indistinguishable from a loss. [`FaultInjector`] implements isolated and
-//! bursty losses at a configurable rate per million messages.
+//! bursty losses at a configurable rate per million messages. The
+//! [`FaultDomainConfig`] layer extends this with **correlated** faults:
+//! per-link Gilbert–Elliott channels, scheduled link flaps, router
+//! brown-outs and region bursts, with fault-aware adaptive routing around
+//! hard-down links (DESIGN.md §12).
 //!
 //! The mesh is a *timing and fault oracle*, not an active component: the
 //! protocol simulator calls [`Mesh::send`] and receives either the delivery
@@ -28,14 +32,19 @@
 //! assert!(at > Cycle::ZERO);
 //! ```
 
+mod domain;
 mod fault;
 mod mesh;
 mod stats;
 mod topology;
 
+pub use domain::{
+    link_decision, FaultConfigError, FaultDomainConfig, FaultEvent, LinkChannel, LinkChannelConfig,
+    DEFAULT_DEGRADED_DROP,
+};
 pub use fault::{FaultConfig, FaultInjector};
 pub use mesh::{Mesh, MeshConfig, RoutingMode, SendOutcome};
-pub use stats::NocStats;
+pub use stats::{DomainDropCause, NocStats};
 pub use topology::{AdaptiveRoute, Coord, Direction, LinkId, RouterId, Topology, XyRoute};
 
 /// Virtual-channel classes used by the coherence protocols.

@@ -2,7 +2,9 @@
 
 use ftdircmp_sim::{Cycle, DetRng};
 
-use crate::{FaultConfig, FaultInjector, NocStats, RouterId, Topology, VcClass};
+use crate::domain::{FaultDomainConfig, FaultEvent, LinkChannel, LinkChannelConfig};
+use crate::stats::DomainDropCause;
+use crate::{Direction, FaultConfig, FaultInjector, LinkId, NocStats, RouterId, Topology, VcClass};
 
 /// How messages are routed through the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -119,9 +121,129 @@ pub struct Mesh {
     link_free: Vec<Cycle>,
     link_busy: Vec<u64>,
     fault: FaultInjector,
+    /// Correlated fault-domain state (per-link channels + event masks);
+    /// `None` unless `config.faults.domains` is set, keeping the legacy
+    /// send path byte-identical.
+    domain: Option<DomainState>,
     route_rng: DetRng,
     jitter_rng: DetRng,
     stats: NocStats,
+}
+
+/// Live fault-domain state: per-link Gilbert–Elliott channels plus the
+/// hard-down / degraded link masks derived from the event timeline.
+///
+/// Masks are recomputed lazily: they stay valid for the window
+/// `[valid_from, valid_until)` between event boundaries, so the per-message
+/// cost is one range check.
+#[derive(Debug, Clone)]
+struct DomainState {
+    cfg: FaultDomainConfig,
+    channel_cfg: LinkChannelConfig,
+    channels: Vec<LinkChannel>,
+    /// Hard-down links (active flaps): nothing traverses them.
+    down: Vec<bool>,
+    /// Event-degraded links (brown-outs, region bursts): forced into the
+    /// bad channel state.
+    degraded: Vec<bool>,
+    valid_from: u64,
+    valid_until: u64,
+    any_down: bool,
+}
+
+impl DomainState {
+    fn new(cfg: FaultDomainConfig, slots: usize) -> Self {
+        let channel_cfg = cfg.effective_channel();
+        DomainState {
+            cfg,
+            channel_cfg,
+            channels: vec![LinkChannel::default(); slots],
+            down: vec![false; slots],
+            degraded: vec![false; slots],
+            // Empty validity window: the first send recomputes the masks.
+            valid_from: 0,
+            valid_until: 0,
+            any_down: false,
+        }
+    }
+
+    /// Brings the masks up to date for `now`. Pure function of the event
+    /// timeline and `now` (never of call order), so non-monotonic send
+    /// times recompute correctly.
+    fn refresh(&mut self, now: u64, topo: &Topology) {
+        if self.valid_from <= now && now < self.valid_until {
+            return;
+        }
+        self.down.iter_mut().for_each(|d| *d = false);
+        self.degraded.iter_mut().for_each(|d| *d = false);
+        self.any_down = false;
+        let (mut from, mut until) = (0u64, u64::MAX);
+        for i in 0..self.cfg.events.len() {
+            let (start, end) = self.cfg.events[i].window();
+            if self.cfg.events[i].active_at(now) {
+                from = from.max(start);
+                until = until.min(end);
+                let ev = self.cfg.events[i].clone();
+                self.apply(&ev, topo);
+            } else if now < start {
+                until = until.min(start);
+            } else {
+                from = from.max(end);
+            }
+        }
+        self.valid_from = from;
+        self.valid_until = until;
+    }
+
+    /// Marks the links an active event takes down or degrades. Routers
+    /// outside the mesh (possible when a domain config is reused across
+    /// mesh sizes) are ignored.
+    fn apply(&mut self, ev: &FaultEvent, topo: &Topology) {
+        match *ev {
+            FaultEvent::LinkFlap { from, dir, .. } => {
+                if from.index() < topo.router_count() && topo.neighbor(from, dir).is_some() {
+                    self.down[LinkId::new(from, dir).dense_index()] = true;
+                    self.any_down = true;
+                }
+            }
+            FaultEvent::RouterBrownout { router, .. } => {
+                if router.index() >= topo.router_count() {
+                    return;
+                }
+                for d in Direction::ALL {
+                    if let Some(nb) = topo.neighbor(router, d) {
+                        self.degraded[LinkId::new(router, d).dense_index()] = true;
+                        self.degraded[LinkId::new(nb, d.opposite()).dense_index()] = true;
+                    }
+                }
+            }
+            FaultEvent::RegionBurst {
+                epicenter, radius, ..
+            } => {
+                if epicenter.index() >= topo.router_count() {
+                    return;
+                }
+                for r in 0..topo.router_count() {
+                    let rid = RouterId::new(r as u16);
+                    if topo.hops(rid, epicenter) > radius {
+                        continue;
+                    }
+                    for d in Direction::ALL {
+                        if topo.neighbor(rid, d).is_some() {
+                            self.degraded[LinkId::new(rid, d).dense_index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Steps link `idx`'s channel for one message; returns whether the
+    /// channel lost it.
+    fn step_link(&mut self, idx: usize) -> bool {
+        let forced = self.degraded[idx];
+        self.channels[idx].step(&self.channel_cfg, self.cfg.domain_seed, idx, forced)
+    }
 }
 
 impl Mesh {
@@ -137,12 +259,18 @@ impl Mesh {
         }
         let route_rng = rng.fork("adaptive-routes");
         let jitter_rng = rng.fork("jitter");
+        let domain = config
+            .faults
+            .domains
+            .clone()
+            .map(|d| DomainState::new(d, topology.link_slots()));
         Mesh {
             topology,
             config,
             link_free,
             link_busy,
             fault,
+            domain,
             route_rng,
             jitter_rng,
             stats: NocStats::new(),
@@ -173,7 +301,13 @@ impl Mesh {
     /// checkpoint-fork campaigns; see [`FaultInjector::set_config`]).
     pub fn set_fault_config(&mut self, faults: FaultConfig) {
         self.config.faults = faults.clone();
+        let domains = faults.domains.clone();
         self.fault.set_config(faults);
+        // Fresh channels (count 0): per-link decision streams start at the
+        // fork point, so a forked run matches a from-scratch run whose
+        // warmup made no domain decisions (channels are gated during
+        // warmup, which runs fault-free).
+        self.domain = domains.map(|d| DomainState::new(d, self.topology.link_slots()));
     }
 
     /// Injects a message of `size_bytes` at `now` from `src` to `dst` on
@@ -208,6 +342,10 @@ impl Mesh {
             return SendOutcome::Delivered {
                 at: now + self.config.local_latency,
             };
+        }
+
+        if self.domain.is_some() {
+            return self.send_through_domains(now, src, dst, size_bytes, class);
         }
 
         let ser = serialization_cycles(size_bytes, self.config.link_bytes_per_cycle);
@@ -249,6 +387,145 @@ impl Mesh {
         }
 
         if self.fault.should_drop_class(class) {
+            self.stats.record_dropped(class, size_bytes);
+            return SendOutcome::Dropped;
+        }
+
+        if self.config.jitter_cycles > 0 {
+            arrive += self.jitter_rng.below(self.config.jitter_cycles + 1);
+        }
+
+        let latency = arrive - now;
+        self.stats.record_sent(class, size_bytes, hops, latency);
+        SendOutcome::Delivered { at: arrive }
+    }
+
+    /// Fault-domain send path: like [`Mesh::send`], but every traversed link
+    /// steps its Gilbert–Elliott channel, hard-down links stop the walk, and
+    /// (in adaptive mode) routing steers around down links via the live
+    /// mask. The classic injector still examines every message afterwards so
+    /// `drop_indices` schedules and the injection log keep their global
+    /// numbering.
+    fn send_through_domains(
+        &mut self,
+        now: Cycle,
+        src: RouterId,
+        dst: RouterId,
+        size_bytes: u32,
+        class: VcClass,
+    ) -> SendOutcome {
+        let ser = serialization_cycles(size_bytes, self.config.link_bytes_per_cycle);
+        let Mesh {
+            topology,
+            config,
+            link_free,
+            link_busy,
+            domain,
+            route_rng,
+            jitter_rng,
+            ..
+        } = self;
+        let domain = domain.as_mut().expect("domains configured");
+        domain.refresh(now.as_u64(), topology);
+
+        let mut arrive = now;
+        let mut hops = 0u32;
+        let mut cause: Option<DomainDropCause> = None;
+        // Reserves bandwidth on `idx` and steps its channel; returns whether
+        // the channel lost the message on that link.
+        let mut traverse = |idx: usize, domain: &mut DomainState| {
+            let depart = arrive.max(link_free[idx]);
+            link_free[idx] = depart + ser;
+            link_busy[idx] += ser;
+            arrive = depart + ser + config.router_latency;
+            if config.hop_jitter_cycles > 0 {
+                arrive += jitter_rng.below(config.hop_jitter_cycles + 1);
+            }
+            hops += 1;
+            domain.step_link(idx)
+        };
+        match config.routing {
+            RoutingMode::DimensionOrdered => {
+                // XY routes are fixed: a down link on the path kills the
+                // message (no detour exists in dimension order).
+                for link in topology.route_xy_iter(src, dst) {
+                    let idx = link.dense_index();
+                    if domain.down[idx] {
+                        cause = Some(DomainDropCause::LinkDown);
+                        break;
+                    }
+                    if traverse(idx, domain) {
+                        cause = Some(DomainDropCause::Channel);
+                        break;
+                    }
+                }
+            }
+            RoutingMode::Adaptive => {
+                // Masked minimal-adaptive walk: identical to
+                // `route_adaptive_iter` when nothing is down (same productive
+                // set, one RNG draw per two-way hop), but filters hard-down
+                // links out of the productive set first.
+                let dstc = topology.coord(dst);
+                let mut cur = src;
+                loop {
+                    let c = topology.coord(cur);
+                    let mut productive = [Direction::East; 2];
+                    let mut n = 0;
+                    if c.x() < dstc.x() {
+                        productive[n] = Direction::East;
+                        n += 1;
+                    } else if c.x() > dstc.x() {
+                        productive[n] = Direction::West;
+                        n += 1;
+                    }
+                    if c.y() < dstc.y() {
+                        productive[n] = Direction::South;
+                        n += 1;
+                    } else if c.y() > dstc.y() {
+                        productive[n] = Direction::North;
+                        n += 1;
+                    }
+                    if n == 0 {
+                        break;
+                    }
+                    let mut alive = [Direction::East; 2];
+                    let mut m = 0;
+                    for d in &productive[..n] {
+                        if !domain.down[LinkId::new(cur, *d).dense_index()] {
+                            alive[m] = *d;
+                            m += 1;
+                        }
+                    }
+                    let dir = match m {
+                        0 => {
+                            // Minimal routing only: every productive link is
+                            // down, so the message has no surviving route.
+                            cause = Some(DomainDropCause::Unroutable);
+                            break;
+                        }
+                        1 => alive[0],
+                        _ => *route_rng.pick(&alive[..m]),
+                    };
+                    let idx = LinkId::new(cur, dir).dense_index();
+                    if traverse(idx, domain) {
+                        cause = Some(DomainDropCause::Channel);
+                        break;
+                    }
+                    cur = topology
+                        .neighbor(cur, dir)
+                        .expect("route stepped off the mesh");
+                }
+            }
+        }
+
+        // The injector must see every non-local message even when the domain
+        // layer already lost it: drop-schedule indices and the injection log
+        // count examined messages, not surviving ones.
+        let injector_drop = self.fault.should_drop_class(class);
+        if let Some(c) = cause {
+            self.stats.record_domain_drop(c);
+        }
+        if cause.is_some() || injector_drop {
             self.stats.record_dropped(class, size_bytes);
             return SendOutcome::Dropped;
         }
@@ -634,5 +911,209 @@ mod tests {
     fn max_zero_load_latency_covers_corner_to_corner() {
         let m = mesh();
         assert_eq!(m.max_zero_load_latency(8), m.zero_load_latency(6, 8));
+    }
+
+    mod domains {
+        use super::*;
+        use crate::domain::{FaultDomainConfig, FaultEvent, LinkChannelConfig};
+
+        fn flap(start: u64, end: u64) -> FaultEvent {
+            // Takes down the eastward link out of r0: the first hop of every
+            // XY route from r0 to any router in a higher column.
+            FaultEvent::LinkFlap {
+                from: RouterId::new(0),
+                dir: Direction::East,
+                start,
+                end,
+            }
+        }
+
+        fn domain_mesh(cfg: FaultDomainConfig, routing: RoutingMode) -> Mesh {
+            let config = MeshConfig {
+                routing,
+                faults: FaultConfig::none().with_domains(cfg),
+                ..MeshConfig::default()
+            };
+            Mesh::new(config, DetRng::from_seed(42))
+        }
+
+        fn probe(m: &mut Mesh, at: u64) -> SendOutcome {
+            m.send(
+                Cycle::new(at),
+                RouterId::new(0),
+                RouterId::new(3),
+                8,
+                VcClass::Request,
+            )
+        }
+
+        #[test]
+        fn xy_messages_drop_only_inside_flap_window() {
+            let cfg = FaultDomainConfig::events(vec![flap(100, 200)]);
+            let mut m = domain_mesh(cfg, RoutingMode::DimensionOrdered);
+            assert!(probe(&mut m, 50).delivered_at().is_some());
+            assert!(probe(&mut m, 100).is_dropped());
+            assert!(probe(&mut m, 199).is_dropped());
+            assert!(probe(&mut m, 200).delivered_at().is_some());
+            assert_eq!(m.stats().link_down_drops(), 2);
+            assert_eq!(m.stats().total_dropped(), 2);
+        }
+
+        #[test]
+        fn adaptive_routes_around_a_down_link() {
+            let cfg = FaultDomainConfig::events(vec![flap(0, 1000)]);
+            let mut m = domain_mesh(cfg, RoutingMode::Adaptive);
+            // r0 -> r5 has a productive south alternative at r0, so every
+            // message survives the downed east link.
+            for i in 0..50u64 {
+                let out = m.send(
+                    Cycle::new(i * 10),
+                    RouterId::new(0),
+                    RouterId::new(5),
+                    8,
+                    VcClass::Request,
+                );
+                assert!(out.delivered_at().is_some(), "message {i} dropped");
+            }
+            assert_eq!(m.stats().link_down_drops(), 0);
+            assert_eq!(m.stats().unroutable_drops(), 0);
+        }
+
+        #[test]
+        fn adaptive_counts_unroutable_when_no_minimal_route_survives() {
+            // r0 -> r3 is a straight east run: the only productive direction
+            // at r0 is east, so a down east link strands the message.
+            let cfg = FaultDomainConfig::events(vec![flap(0, 1000)]);
+            let mut m = domain_mesh(cfg, RoutingMode::Adaptive);
+            assert!(probe(&mut m, 10).is_dropped());
+            assert_eq!(m.stats().unroutable_drops(), 1);
+            assert_eq!(m.stats().link_down_drops(), 0);
+        }
+
+        #[test]
+        fn degraded_region_loses_messages_at_the_bad_rate() {
+            // Region burst covering the whole mesh with a lossy degraded
+            // state and a lossless good state: roughly drop_bad of messages
+            // inside the window are lost, none outside it.
+            let cfg = FaultDomainConfig::events(vec![FaultEvent::RegionBurst {
+                epicenter: RouterId::new(5),
+                radius: 6,
+                start: 0,
+                end: 1_000_000,
+            }])
+            .with_channel(LinkChannelConfig::passthrough(0.2));
+            let mut m = domain_mesh(cfg, RoutingMode::DimensionOrdered);
+            let mut dropped = 0u32;
+            for i in 0..4000u64 {
+                if probe(&mut m, i * 100).is_dropped() {
+                    dropped += 1;
+                }
+            }
+            // 3 links per route, each with p=0.2: P(loss) = 1 - 0.8^3 ~ 0.49.
+            let rate = f64::from(dropped) / 4000.0;
+            assert!((0.4..0.6).contains(&rate), "rate={rate}");
+            assert_eq!(m.stats().channel_drops(), u64::from(dropped));
+            // Outside the window nothing is degraded and the good state is
+            // lossless.
+            assert!(probe(&mut m, 2_000_000).delivered_at().is_some());
+        }
+
+        #[test]
+        fn brownout_degrades_links_adjacent_to_the_router() {
+            let cfg = FaultDomainConfig::events(vec![FaultEvent::RouterBrownout {
+                router: RouterId::new(1),
+                start: 0,
+                end: u64::MAX,
+            }])
+            .with_channel(LinkChannelConfig::passthrough(1.0));
+            let mut m = domain_mesh(cfg, RoutingMode::DimensionOrdered);
+            // Route 0->3 crosses r1: its first hop (r0 east, an inbound link
+            // of r1) is degraded with certain loss.
+            assert!(probe(&mut m, 0).is_dropped());
+            // Route 8->11 stays two rows away from r1 and survives.
+            let far = m.send(
+                Cycle::ZERO,
+                RouterId::new(8),
+                RouterId::new(11),
+                8,
+                VcClass::Request,
+            );
+            assert!(far.delivered_at().is_some());
+        }
+
+        #[test]
+        fn domain_decisions_are_deterministic() {
+            let cfg = FaultDomainConfig::events(vec![flap(100, 200)])
+                .with_channel(LinkChannelConfig::passthrough(0.3));
+            let mut a = domain_mesh(cfg.clone(), RoutingMode::DimensionOrdered);
+            let mut b = domain_mesh(cfg, RoutingMode::DimensionOrdered);
+            for i in 0..2000u64 {
+                let src = RouterId::new((i % 16) as u16);
+                let dst = RouterId::new(((i * 7 + 3) % 16) as u16);
+                assert_eq!(
+                    a.send(Cycle::new(i * 3), src, dst, 8, VcClass::Request),
+                    b.send(Cycle::new(i * 3), src, dst, 8, VcClass::Request)
+                );
+            }
+        }
+
+        #[test]
+        fn injector_examines_messages_the_domain_already_dropped() {
+            // A drop schedule indexed from run start must keep firing at the
+            // same global indices even when the domain layer loses earlier
+            // messages: both layers examine every non-local message.
+            let cfg = FaultDomainConfig::events(vec![flap(0, 1000)]);
+            let config = MeshConfig {
+                faults: FaultConfig::drop_exactly(vec![2]).with_domains(cfg),
+                record_injections: true,
+                ..MeshConfig::default()
+            };
+            let mut m = Mesh::new(config, DetRng::from_seed(7));
+            // Messages 0/1 cross the down link (domain drops), message 2 is
+            // unaffected by the flap but hits the schedule.
+            assert!(probe(&mut m, 0).is_dropped());
+            assert!(probe(&mut m, 1).is_dropped());
+            let south = m.send(
+                Cycle::new(2),
+                RouterId::new(0),
+                RouterId::new(4),
+                8,
+                VcClass::Request,
+            );
+            assert!(south.is_dropped(), "schedule index 2 must still fire");
+            assert_eq!(m.stats().link_down_drops(), 2);
+            assert_eq!(m.fault_injector().messages_dropped(), 1);
+            assert_eq!(m.fault_injector().injection_log().len(), 3);
+        }
+
+        #[test]
+        fn set_fault_config_installs_and_clears_domains() {
+            let mut m = mesh();
+            assert!(probe(&mut m, 0).delivered_at().is_some());
+            m.set_fault_config(
+                FaultConfig::none().with_domains(FaultDomainConfig::events(vec![flap(0, 1000)])),
+            );
+            assert!(probe(&mut m, 10).is_dropped());
+            m.set_fault_config(FaultConfig::none());
+            assert!(probe(&mut m, 20).delivered_at().is_some());
+        }
+
+        #[test]
+        fn inactive_domains_leave_fault_free_timing_identical() {
+            // An installed but event-free, channel-free domain config must
+            // not perturb delivery times relative to the legacy path.
+            let cfg = FaultDomainConfig::events(vec![]);
+            let mut with = domain_mesh(cfg, RoutingMode::DimensionOrdered);
+            let mut without = mesh();
+            for i in 0..500u64 {
+                let src = RouterId::new((i % 16) as u16);
+                let dst = RouterId::new(((i * 11 + 5) % 16) as u16);
+                assert_eq!(
+                    with.send(Cycle::new(i * 7), src, dst, 72, VcClass::Response),
+                    without.send(Cycle::new(i * 7), src, dst, 72, VcClass::Response)
+                );
+            }
+            assert_eq!(with.stats().total_dropped(), 0);
+        }
     }
 }

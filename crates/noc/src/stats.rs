@@ -16,6 +16,21 @@ pub struct NocStats {
     hop_histogram: Histogram,
     latency_histogram: Histogram,
     local_deliveries: Counter,
+    /// Fault-domain drop causes (all zero without domains configured).
+    dropped_link_down: Counter,
+    dropped_channel: Counter,
+    dropped_unroutable: Counter,
+}
+
+/// Why the fault-domain layer lost a message (see DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainDropCause {
+    /// The route crossed a hard-down (flapping) link.
+    LinkDown,
+    /// A per-link Gilbert–Elliott channel (possibly event-degraded) lost it.
+    Channel,
+    /// Adaptive routing found no surviving minimal route.
+    Unroutable,
 }
 
 impl NocStats {
@@ -38,6 +53,14 @@ impl NocStats {
 
     pub(crate) fn record_local(&mut self) {
         self.local_deliveries.incr();
+    }
+
+    pub(crate) fn record_domain_drop(&mut self, cause: DomainDropCause) {
+        match cause {
+            DomainDropCause::LinkDown => self.dropped_link_down.incr(),
+            DomainDropCause::Channel => self.dropped_channel.incr(),
+            DomainDropCause::Unroutable => self.dropped_unroutable.incr(),
+        }
     }
 
     /// Messages successfully injected for `class` (delivered or in flight).
@@ -80,6 +103,21 @@ impl NocStats {
     /// Same-router deliveries that bypassed the mesh.
     pub fn local_deliveries(&self) -> u64 {
         self.local_deliveries.get()
+    }
+
+    /// Messages lost crossing a hard-down (flapping) link.
+    pub fn link_down_drops(&self) -> u64 {
+        self.dropped_link_down.get()
+    }
+
+    /// Messages lost to per-link channel state (ambient or event-degraded).
+    pub fn channel_drops(&self) -> u64 {
+        self.dropped_channel.get()
+    }
+
+    /// Messages dropped because adaptive routing found no surviving route.
+    pub fn unroutable_drops(&self) -> u64 {
+        self.dropped_unroutable.get()
     }
 
     /// Distribution of hop counts.
@@ -137,5 +175,17 @@ mod tests {
         s.record_local();
         s.record_local();
         assert_eq!(s.local_deliveries(), 2);
+    }
+
+    #[test]
+    fn domain_drop_causes_tracked_separately() {
+        let mut s = NocStats::new();
+        s.record_domain_drop(DomainDropCause::LinkDown);
+        s.record_domain_drop(DomainDropCause::LinkDown);
+        s.record_domain_drop(DomainDropCause::Channel);
+        s.record_domain_drop(DomainDropCause::Unroutable);
+        assert_eq!(s.link_down_drops(), 2);
+        assert_eq!(s.channel_drops(), 1);
+        assert_eq!(s.unroutable_drops(), 1);
     }
 }

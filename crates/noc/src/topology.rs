@@ -73,6 +73,14 @@ pub enum Direction {
 }
 
 impl Direction {
+    /// All directions, in index order.
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::South,
+        Direction::North,
+    ];
+
     /// Dense index for array-backed per-direction state.
     pub fn index(self) -> usize {
         match self {
@@ -81,6 +89,37 @@ impl Direction {
             Direction::South => 2,
             Direction::North => 3,
         }
+    }
+
+    /// The opposite direction (the one a neighbor uses to point back).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::South => Direction::North,
+            Direction::North => Direction::South,
+        }
+    }
+
+    /// Lowercase label used in job specs and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::East => "east",
+            Direction::West => "west",
+            Direction::South => "south",
+            Direction::North => "north",
+        }
+    }
+
+    /// Parses a [`Direction::label`] string.
+    pub fn from_label(s: &str) -> Option<Direction> {
+        Direction::ALL.into_iter().find(|d| d.label() == s)
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -93,6 +132,13 @@ pub struct LinkId {
 }
 
 impl LinkId {
+    /// Creates a link id from its source router and direction. Used by the
+    /// fault-domain layer to map scheduled events onto link mask slots; the
+    /// route walkers build their own links internally.
+    pub const fn new(from: RouterId, dir: Direction) -> Self {
+        LinkId { from, dir }
+    }
+
     /// Source router of the link.
     pub fn from(self) -> RouterId {
         self.from
@@ -489,6 +535,26 @@ mod tests {
     #[should_panic(expected = "mesh dimensions must be positive")]
     fn zero_dimension_panics() {
         Topology::new(0, 4);
+    }
+
+    #[test]
+    fn direction_labels_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_label(d.label()), Some(d));
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+        assert_eq!(Direction::from_label("up"), None);
+        assert_eq!(Direction::East.to_string(), "east");
+    }
+
+    #[test]
+    fn link_constructor_matches_walker_links() {
+        let t = topo();
+        let walked = t.route_xy(RouterId::new(0), RouterId::new(1))[0];
+        let built = LinkId::new(RouterId::new(0), Direction::East);
+        assert_eq!(walked, built);
+        assert_eq!(built.dense_index(), walked.dense_index());
     }
 }
 

@@ -17,6 +17,9 @@
 
 use ftdircmp_bench::campaign::Unit;
 use ftdircmp_core::{ProtocolVariant, SystemConfig};
+use ftdircmp_noc::{
+    Direction, FaultDomainConfig, FaultEvent, LinkChannelConfig, RouterId, DEFAULT_DEGRADED_DROP,
+};
 use ftdircmp_workloads::WorkloadSpec;
 
 use crate::json::Json;
@@ -77,6 +80,132 @@ pub struct ConfigSpec {
     pub watchdog_cycles: Option<u64>,
     /// Event-queue schedule seed override.
     pub schedule_seed: Option<u64>,
+    /// Scheduled correlated-fault events (link flaps, brown-outs, region
+    /// bursts). Empty means no fault domains.
+    pub fault_events: Vec<FaultEvent>,
+    /// Ambient per-link Gilbert–Elliott channel.
+    pub link_channel: Option<LinkChannelConfig>,
+    /// Seed of the per-link decision hash (defaults inside
+    /// `FaultDomainConfig` when unset).
+    pub domain_seed: Option<u64>,
+}
+
+/// Parses one fault-event object: `{"kind":"link-flap","router":5,
+/// "dir":"east","start":1000,"end":2000}`, `{"kind":"brownout","router":5,
+/// ...}` or `{"kind":"region-burst","epicenter":5,"radius":1,...}`.
+fn parse_fault_event(v: &Json) -> Result<FaultEvent, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("fault event missing string field \"kind\"")?;
+    let num = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("fault event missing integer field {key:?}"))
+    };
+    let router = |key: &str| -> Result<RouterId, String> {
+        let raw = num(key)?;
+        u16::try_from(raw)
+            .map(RouterId::new)
+            .map_err(|_| format!("fault event field {key:?}: router index {raw} too large"))
+    };
+    let (start, end) = (num("start")?, num("end")?);
+    match kind {
+        "link-flap" => {
+            let label = v
+                .get("dir")
+                .and_then(Json::as_str)
+                .ok_or("link-flap event missing string field \"dir\"")?;
+            let dir = Direction::from_label(label).ok_or_else(|| {
+                format!("unknown direction {label:?} (expected east, west, south or north)")
+            })?;
+            Ok(FaultEvent::LinkFlap {
+                from: router("router")?,
+                dir,
+                start,
+                end,
+            })
+        }
+        "brownout" => Ok(FaultEvent::RouterBrownout {
+            router: router("router")?,
+            start,
+            end,
+        }),
+        "region-burst" => Ok(FaultEvent::RegionBurst {
+            epicenter: router("epicenter")?,
+            radius: u32::try_from(num("radius")?)
+                .map_err(|_| "fault event field \"radius\": too large".to_string())?,
+            start,
+            end,
+        }),
+        other => Err(format!(
+            "unknown fault event kind {other:?} (expected link-flap, brownout, region-burst)"
+        )),
+    }
+}
+
+fn fault_event_json(ev: &FaultEvent) -> Json {
+    match *ev {
+        FaultEvent::LinkFlap {
+            from,
+            dir,
+            start,
+            end,
+        } => Json::obj(vec![
+            ("kind", Json::str("link-flap")),
+            ("router", Json::num_u64(from.index() as u64)),
+            ("dir", Json::str(dir.label())),
+            ("start", Json::num_u64(start)),
+            ("end", Json::num_u64(end)),
+        ]),
+        FaultEvent::RouterBrownout { router, start, end } => Json::obj(vec![
+            ("kind", Json::str("brownout")),
+            ("router", Json::num_u64(router.index() as u64)),
+            ("start", Json::num_u64(start)),
+            ("end", Json::num_u64(end)),
+        ]),
+        FaultEvent::RegionBurst {
+            epicenter,
+            radius,
+            start,
+            end,
+        } => Json::obj(vec![
+            ("kind", Json::str("region-burst")),
+            ("epicenter", Json::num_u64(epicenter.index() as u64)),
+            ("radius", Json::num_u64(u64::from(radius))),
+            ("start", Json::num_u64(start)),
+            ("end", Json::num_u64(end)),
+        ]),
+    }
+}
+
+/// Parses a link-channel object; omitted fields default to the passthrough
+/// channel (no ambient noise, [`DEFAULT_DEGRADED_DROP`] inside degraded
+/// windows).
+fn parse_link_channel(v: &Json) -> Result<LinkChannelConfig, String> {
+    let p = |key: &str| -> Result<Option<f64>, String> {
+        v.get(key)
+            .map(|x| {
+                x.as_f64()
+                    .ok_or_else(|| format!("link_channel field {key:?}: expected number"))
+            })
+            .transpose()
+    };
+    Ok(LinkChannelConfig {
+        p_enter_bad: p("p_enter_bad")?.unwrap_or(0.0),
+        p_exit_bad: p("p_exit_bad")?.unwrap_or(1.0),
+        drop_good: p("drop_good")?.unwrap_or(0.0),
+        drop_bad: p("drop_bad")?.unwrap_or(DEFAULT_DEGRADED_DROP),
+    })
+}
+
+fn link_channel_json(ch: &LinkChannelConfig) -> Json {
+    Json::obj(vec![
+        ("p_enter_bad", Json::Num(ch.p_enter_bad)),
+        ("p_exit_bad", Json::Num(ch.p_exit_bad)),
+        ("drop_good", Json::Num(ch.drop_good)),
+        ("drop_bad", Json::Num(ch.drop_bad)),
+    ])
 }
 
 /// A guided fault-schedule exploration request.
@@ -126,6 +255,20 @@ impl ConfigSpec {
         if let Some(ss) = self.schedule_seed {
             cfg = cfg.with_schedule_seed(ss);
         }
+        if !self.fault_events.is_empty() || self.link_channel.is_some() {
+            let mut domains = FaultDomainConfig::events(self.fault_events.clone());
+            if let Some(ch) = &self.link_channel {
+                domains = domains.with_channel(ch.clone());
+            }
+            if let Some(seed) = self.domain_seed {
+                domains = domains.with_seed(seed);
+            }
+            cfg = cfg.with_fault_domains(domains);
+            // Surface bad probabilities / empty windows / out-of-mesh
+            // routers as client errors at submission time, not worker
+            // crashes at run time.
+            cfg.validate()?;
+        }
         Ok(cfg)
     }
 
@@ -137,6 +280,12 @@ impl ConfigSpec {
         }
         if let Some(ss) = self.schedule_seed {
             l.push_str(&format!("-ss{ss}"));
+        }
+        if !self.fault_events.is_empty() {
+            l.push_str(&format!("-fd{}", self.fault_events.len()));
+        }
+        if self.link_channel.is_some() {
+            l.push_str("-ge");
         }
         l
     }
@@ -284,9 +433,30 @@ impl JobSpec {
                                         .ok_or("field \"schedule_seed\": expected integer")
                                 })
                                 .transpose()?,
+                            fault_events: c
+                                .get("fault_events")
+                                .map(|evs| {
+                                    evs.as_arr()
+                                        .ok_or("field \"fault_events\": expected array")?
+                                        .iter()
+                                        .map(parse_fault_event)
+                                        .collect::<Result<Vec<_>, String>>()
+                                })
+                                .transpose()?
+                                .unwrap_or_default(),
+                            link_channel: c
+                                .get("link_channel")
+                                .map(parse_link_channel)
+                                .transpose()?,
+                            domain_seed: c
+                                .get("domain_seed")
+                                .map(|s| {
+                                    s.as_u64().ok_or("field \"domain_seed\": expected integer")
+                                })
+                                .transpose()?,
                         })
                     })
-                    .collect::<Result<Vec<_>, &str>>()?;
+                    .collect::<Result<Vec<_>, String>>()?;
                 let spec = CampaignSpec {
                     specs: strings("specs")?,
                     configs,
@@ -398,6 +568,20 @@ impl JobSpec {
                                 }
                                 if let Some(ss) = cfg.schedule_seed {
                                     p.push(("schedule_seed".to_string(), Json::num_u64(ss)));
+                                }
+                                if !cfg.fault_events.is_empty() {
+                                    p.push((
+                                        "fault_events".to_string(),
+                                        Json::Arr(
+                                            cfg.fault_events.iter().map(fault_event_json).collect(),
+                                        ),
+                                    ));
+                                }
+                                if let Some(ch) = &cfg.link_channel {
+                                    p.push(("link_channel".to_string(), link_channel_json(ch)));
+                                }
+                                if let Some(ds) = cfg.domain_seed {
+                                    p.push(("domain_seed".to_string(), Json::num_u64(ds)));
                                 }
                                 Json::Obj(p)
                             })
@@ -529,6 +713,73 @@ mod tests {
         let back = JobSpec::from_json(&job.to_json()).unwrap();
         assert_eq!(back, job);
         assert_eq!(job.total_units(), 1);
+    }
+
+    #[test]
+    fn fault_domain_configs_roundtrip_and_validate() {
+        let v = Json::parse(
+            r#"{"kind":"campaign","label":"fd","specs":["fft:ops=30"],
+                "configs":[{"protocol":"ftdircmp",
+                            "fault_events":[
+                              {"kind":"link-flap","router":5,"dir":"east","start":1000,"end":2000},
+                              {"kind":"brownout","router":0,"start":10,"end":20},
+                              {"kind":"region-burst","epicenter":5,"radius":1,"start":30,"end":40}],
+                            "link_channel":{"drop_bad":0.5},
+                            "domain_seed":7}],
+                "seeds":1}"#,
+        )
+        .unwrap();
+        let job = JobSpec::from_json(&v).unwrap();
+        let JobKind::Campaign(c) = &job.kind else {
+            panic!("expected campaign")
+        };
+        assert_eq!(c.configs[0].fault_events.len(), 3);
+        assert_eq!(c.configs[0].label(), "ftdircmp-fd3-ge");
+        let cfg = c.configs[0].to_config().unwrap();
+        let domains = cfg.mesh.faults.domains.as_ref().expect("domains installed");
+        assert_eq!(domains.domain_seed, 7);
+        assert_eq!(domains.events.len(), 3);
+        assert_eq!(
+            domains.channel.as_ref().map(|ch| ch.drop_bad),
+            Some(0.5),
+            "partial link_channel objects default the missing fields"
+        );
+
+        let back = JobSpec::from_json(&job.to_json()).unwrap();
+        assert_eq!(back, job, "canonical JSON must round-trip");
+    }
+
+    #[test]
+    fn bad_fault_events_are_client_errors() {
+        for (events, needle) in [
+            (
+                r#"[{"kind":"link-flap","router":5,"dir":"up","start":0,"end":1}]"#,
+                "unknown direction",
+            ),
+            (
+                r#"[{"kind":"meteor","router":5,"start":0,"end":1}]"#,
+                "unknown fault event kind",
+            ),
+            (
+                r#"[{"kind":"brownout","router":99,"start":0,"end":1}]"#,
+                "outside",
+            ),
+            (
+                r#"[{"kind":"brownout","router":1,"start":5,"end":5}]"#,
+                "empty window",
+            ),
+            (
+                r#"[{"kind":"link-flap","router":5,"start":0,"end":1}]"#,
+                "\"dir\"",
+            ),
+        ] {
+            let json = format!(
+                r#"{{"kind":"campaign","specs":["fft"],
+                     "configs":[{{"protocol":"ftdircmp","fault_events":{events}}}]}}"#
+            );
+            let e = JobSpec::from_json(&Json::parse(&json).unwrap()).unwrap_err();
+            assert!(e.contains(needle), "{events}: {e}");
+        }
     }
 
     #[test]

@@ -199,7 +199,11 @@ fn unit_record(index: u64, unit: &Unit, result: &Result<SimReport, CellError>) -
             ));
         }
         Err(CellError::Run(RunError::Deadlock {
-            at, blocked_cores, ..
+            at,
+            blocked_cores,
+            last_progress,
+            stalled,
+            ..
         })) => {
             pairs.push(("status".to_string(), Json::str("deadlock")));
             pairs.push(("at".to_string(), Json::num_u64(*at)));
@@ -207,6 +211,18 @@ fn unit_record(index: u64, unit: &Unit, result: &Result<SimReport, CellError>) -
                 "blocked_cores".to_string(),
                 Json::num_u64(blocked_cores.len() as u64),
             ));
+            pairs.push(("last_progress".to_string(), Json::num_u64(*last_progress)));
+            // Name the first stuck line so quarantine triage starts from
+            // the record itself, not a rerun.
+            if let Some((core, line)) = stalled
+                .iter()
+                .find_map(|s| s.pending_lines.first().map(|l| (s.core, *l)))
+            {
+                pairs.push((
+                    "stuck".to_string(),
+                    Json::str(format!("core {core} on {line}")),
+                ));
+            }
         }
         Err(CellError::Run(RunError::InvalidConfig(msg))) => {
             pairs.push(("status".to_string(), Json::str("error")));

@@ -30,5 +30,5 @@ mod time;
 
 pub use event::EventQueue;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use rng::DetRng;
+pub use rng::{splitmix64, DetRng};
 pub use time::Cycle;

@@ -125,8 +125,10 @@ impl DetRng {
 }
 
 /// SplitMix64 step; mixes seeds so that nearby seeds yield unrelated streams.
-/// Also used by `EventQueue` to derive schedule-perturbation tie-break keys.
-pub(crate) fn splitmix64(mut z: u64) -> u64 {
+/// Also used by `EventQueue` to derive schedule-perturbation tie-break keys,
+/// and by the NoC fault-domain layer to derive stateless per-link decision
+/// streams keyed by `(domain seed, link, per-link message count)`.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

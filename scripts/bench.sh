@@ -4,7 +4,10 @@
 #   2. a fixed fig3 campaign: classic sequential reference (--jobs 1),
 #      checkpoint-fork sequential, and checkpoint-fork parallel, emitting
 #      results/BENCH_campaign.json with wall time and throughput;
-#   3. a trajectory datapoint appended to results/BENCH_trajectory.jsonl.
+#   3. a correlated-fault campaign (link flaps + region bursts, the
+#      fault_domains bin) emitting results/BENCH_faults.json;
+#   4. trajectory datapoints (fig3 + fault-domain cells) appended to
+#      results/BENCH_trajectory.jsonl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,23 +75,39 @@ echo "campaign speedup over classic sequential at $JOBS jobs: ${speedup}x"
 echo "throughput summary (checkpoint-fork parallel run):"
 cat results/BENCH_campaign.json
 
-# Append a trajectory datapoint so perf over time is greppable from the repo.
-# The line is validated as JSON first (an empty sed extraction would
-# otherwise poison the file), and the append goes through a tmp file + mv
-# so a crash mid-write can never leave a torn trailing line.
+echo
+echo "== correlated-fault campaign (flap durations x burst radii, --jobs $JOBS) =="
+cargo build --release -q -p ftdircmp-bench --bin fault_domains
+./target/release/fault_domains --seeds "$SEEDS" --jobs "$JOBS" \
+    --bench-json results/BENCH_faults.json > results/fault_domains.txt
+echo "throughput summary (correlated-fault run):"
+cat results/BENCH_faults.json
+
+# Append trajectory datapoints (one per campaign cell) so perf over time is
+# greppable from the repo. Each line is validated as JSON first (an empty
+# sed extraction would otherwise poison the file), and the append goes
+# through a tmp file + mv so a crash mid-write can never leave a torn
+# trailing line.
 git_sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-eps=$(sed -n 's/.*"events_per_second": \([0-9]*\).*/\1/p' results/BENCH_campaign.json)
-cps=$(sed -n 's/.*"simulated_cycles_per_second": \([0-9]*\).*/\1/p' results/BENCH_campaign.json)
-line=$(printf '{"git_sha": "%s", "date": "%s", "jobs": %s, "events_per_second": %s, "cycles_per_second": %s}' \
-    "$git_sha" "$date_iso" "$JOBS" "$eps" "$cps")
-if ! printf '%s\n' "$line" | ./target/release/ftdircmp-serve json-check; then
-    echo "ERROR: refusing to append malformed trajectory line: $line" >&2
-    exit 1
-fi
+traj_line() { # $1 = campaign label, $2 = bench json file
+    local eps cps
+    eps=$(sed -n 's/.*"events_per_second": \([0-9]*\).*/\1/p' "$2")
+    cps=$(sed -n 's/.*"simulated_cycles_per_second": \([0-9]*\).*/\1/p' "$2")
+    printf '{"git_sha": "%s", "date": "%s", "campaign": "%s", "jobs": %s, "events_per_second": %s, "cycles_per_second": %s}' \
+        "$git_sha" "$date_iso" "$1" "$JOBS" "$eps" "$cps"
+}
 traj=results/BENCH_trajectory.jsonl
 tmp=$(mktemp results/.BENCH_trajectory.XXXXXX)
 if [ -f "$traj" ]; then cat "$traj" > "$tmp"; fi
-printf '%s\n' "$line" >> "$tmp"
+for cell in "fig3:results/BENCH_campaign.json" "fault_domains:results/BENCH_faults.json"; do
+    line=$(traj_line "${cell%%:*}" "${cell#*:}")
+    if ! printf '%s\n' "$line" | ./target/release/ftdircmp-serve json-check; then
+        echo "ERROR: refusing to append malformed trajectory line: $line" >&2
+        rm -f "$tmp"
+        exit 1
+    fi
+    printf '%s\n' "$line" >> "$tmp"
+done
 mv "$tmp" "$traj"
-echo "appended datapoint to results/BENCH_trajectory.jsonl"
+echo "appended fig3 + fault_domains datapoints to results/BENCH_trajectory.jsonl"
